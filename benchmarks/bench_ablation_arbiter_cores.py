@@ -1,0 +1,32 @@
+"""Ablation: LLC arbiter latency as a function of core count (Section 5.4.4).
+
+The round-robin arbiter costs N/2 cycles of average entry latency for an
+N-core machine; this sweep shows how the ARB overhead scales with N for a
+memory-intensive workload.
+"""
+
+from dataclasses import replace
+
+from repro.core.config import MI6Config
+from repro.core.processor import MI6Processor
+from repro.core.variants import Variant, config_for_variant
+
+
+def test_bench_ablation_arbiter_core_count(benchmark):
+    def sweep():
+        base = MI6Processor(config_for_variant(Variant.BASE)).run_workload(
+            "libquantum", instructions=12_000
+        )
+        overheads = {}
+        for cores in (2, 4, 8, 16, 32):
+            config = replace(config_for_variant(Variant.ARB, MI6Config(num_cores=cores)))
+            run = MI6Processor(config).run_workload("libquantum", instructions=12_000)
+            overheads[cores] = run.overhead_vs(base)
+        return overheads
+
+    overheads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("cores  arbiter overhead (%)")
+    for cores, value in overheads.items():
+        print(f"{cores:>5}  {value:>8.2f}")
+    assert overheads[32] >= overheads[2]

@@ -1,0 +1,33 @@
+"""Ablation: FLUSH overhead vs context-switch (trap) frequency.
+
+The paper's 5.4% average assumes Linux-scale trap intervals; this sweep
+shows how the purge cost amortises as the interval grows, which is also
+how the scaled-down intervals used in this reproduction inflate Figure 5/6.
+"""
+
+from repro.core.config import MI6Config
+from repro.core.processor import MI6Processor
+from repro.core.variants import Variant, config_for_variant
+
+
+def test_bench_ablation_flush_interval(benchmark):
+    def sweep():
+        overheads = {}
+        for interval in (2_500, 5_000, 10_000, 20_000):
+            base_config = config_for_variant(
+                Variant.BASE, MI6Config(trap_interval_instructions=interval)
+            )
+            flush_config = config_for_variant(
+                Variant.FLUSH, MI6Config(trap_interval_instructions=interval)
+            )
+            base = MI6Processor(base_config).run_workload("astar", instructions=20_000)
+            flush = MI6Processor(flush_config).run_workload("astar", instructions=20_000)
+            overheads[interval] = flush.overhead_vs(base)
+        return overheads
+
+    overheads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("trap interval (instr)  FLUSH overhead (%)")
+    for interval, value in overheads.items():
+        print(f"{interval:>20}  {value:>8.2f}")
+    assert overheads[2_500] > overheads[20_000]

@@ -1,0 +1,10 @@
+"""Figure 4: the baseline (BASE) machine configuration table."""
+
+from repro.analysis.figures import figure04_configuration
+
+
+def test_fig04_configuration(benchmark):
+    text = benchmark.pedantic(figure04_configuration, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert "80-entry ROB" in text

@@ -1,0 +1,15 @@
+"""Figure 7: branch mispredictions per 1K instructions, BASE vs FLUSH."""
+
+from repro.analysis.figures import figure07_branch_mpki
+from repro.analysis.report import format_series_table
+
+
+def test_bench_fig07_branch_mpki(benchmark):
+    title, base, flush, paper_base, paper_flush = benchmark.pedantic(
+        figure07_branch_mpki, rounds=1, iterations=1
+    )
+    print()
+    print(format_series_table(title + " [BASE]", base, paper_base, unit="MPKI"))
+    print(format_series_table(title + " [FLUSH]", flush, paper_flush, unit="MPKI"))
+    # Flushing the predictor on every trap must not *reduce* mispredictions.
+    assert flush["average"] >= base["average"]

@@ -1,0 +1,7 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each benchmark runs the relevant (benchmark, variant) sweep exactly once
+(``pedantic`` with one round) and prints a paper-vs-measured table; the
+pytest-benchmark timing records how long the sweep itself takes.  Run
+length per workload is controlled by ``REPRO_BENCH_INSTRUCTIONS``.
+"""

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: run one SPEC-like workload on the insecure baseline and on MI6.
+
+This is the smallest end-to-end use of the library: build the two machine
+configurations, run the same calibrated synthetic benchmark on both, and
+print the slowdown that enclave-grade isolation costs (the paper's
+headline number is ~16.4% on average across SPEC CINT2006).
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import MI6Processor, Variant, config_for_variant
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    base = MI6Processor(config_for_variant(Variant.BASE))
+    secured = MI6Processor(config_for_variant(Variant.F_P_M_A))
+
+    base_run = base.run_workload(benchmark, instructions=instructions)
+    secured_run = secured.run_workload(benchmark, instructions=instructions)
+
+    print(f"benchmark          : {benchmark} ({instructions} instructions)")
+    print(f"BASE      cycles   : {base_run.cycles:>10}  (CPI {base_run.result.cpi:.2f})")
+    print(f"F+P+M+A   cycles   : {secured_run.cycles:>10}  (CPI {secured_run.result.cpi:.2f})")
+    print(f"enclave overhead   : {secured_run.overhead_vs(base_run):.1f}%")
+    print()
+    print("Baseline characteristics:")
+    print(f"  branch MPKI      : {base_run.result.branch_mpki:.1f}")
+    print(f"  LLC MPKI         : {base_run.result.llc_mpki:.1f}")
+    print(f"  L1D MPKI         : {base_run.result.l1d_mpki:.1f}")
+
+
+if __name__ == "__main__":
+    main()

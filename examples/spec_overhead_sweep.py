@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Mini Figure 13: the enclave overhead across the SPEC CINT2006 analogues.
+
+Runs every calibrated benchmark profile on BASE and F+P+M+A and prints the
+per-benchmark slowdown next to the values read off the paper's Figure 13.
+The full benchmark harness (``pytest benchmarks/ --benchmark-only``) does
+the same for every figure; this example keeps the runs short so it
+finishes in a couple of minutes.
+
+Usage::
+
+    python examples/spec_overhead_sweep.py [instructions_per_benchmark]
+"""
+
+import sys
+
+from repro.analysis.harness import EvaluationSettings, cached_run
+from repro.core.variants import Variant
+from repro.workloads.characteristics import PAPER_REPORTED
+from repro.workloads.spec_cint2006 import benchmark_names
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+    settings = EvaluationSettings(instructions=instructions)
+
+    print(f"{'benchmark':<12} {'measured (%)':>14} {'paper fig13 (%)':>16}")
+    print("-" * 44)
+    overheads = []
+    for name in benchmark_names():
+        base = cached_run(Variant.BASE, name, settings)
+        secured = cached_run(Variant.F_P_M_A, name, settings)
+        overhead = secured.overhead_vs(base)
+        overheads.append(overhead)
+        print(f"{name:<12} {overhead:>14.1f} {PAPER_REPORTED[name].overall_overhead_pct:>16.1f}")
+    print("-" * 44)
+    print(f"{'average':<12} {sum(overheads) / len(overheads):>14.1f} {16.4:>16.1f}")
+
+
+if __name__ == "__main__":
+    main()

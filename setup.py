@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` also works on environments without the
+``wheel`` package (legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

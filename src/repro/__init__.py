@@ -1,0 +1,50 @@
+"""MI6: Secure Enclaves in a Speculative Out-of-Order Processor — reproduction.
+
+A from-scratch Python model of the MI6 system (Bourgeat et al., MICRO
+2019): the RiscyOO out-of-order core and memory hierarchy, the MI6
+isolation mechanisms (LLC set partitioning, MSHR partitioning and sizing,
+the strong-timing-independence LLC, the ``purge`` instruction, DRAM-region
+access checks, machine-mode speculation restrictions), a security monitor
+and untrusted OS implementing enclaves, synthetic SPEC CINT2006 workloads,
+attack models, and a benchmark harness reproducing Figures 4-13.
+
+Typical entry points:
+
+>>> from repro import MI6Processor, Variant, config_for_variant
+>>> processor = MI6Processor(config_for_variant(Variant.F_P_M_A))
+>>> run = processor.run_workload("gcc", instructions=20_000)
+>>> run.result.cpi  # doctest: +SKIP
+"""
+
+from repro.core.config import MI6Config
+from repro.core.processor import MI6Processor, WorkloadRun
+from repro.core.protection import ProtectionDomain, RegionBitvector
+from repro.core.purge import PurgeUnit
+from repro.core.variants import Variant, config_for_variant, variant_description
+from repro.monitor.security_monitor import SecurityMonitor
+from repro.os_model.kernel import MaliciousOS, UntrustedOS
+from repro.os_model.machine import Machine
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.spec_cint2006 import SPEC_CINT2006, benchmark_names, profile_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MI6Config",
+    "MI6Processor",
+    "Machine",
+    "MaliciousOS",
+    "ProtectionDomain",
+    "PurgeUnit",
+    "RegionBitvector",
+    "SPEC_CINT2006",
+    "SecurityMonitor",
+    "SyntheticWorkload",
+    "UntrustedOS",
+    "Variant",
+    "WorkloadRun",
+    "benchmark_names",
+    "config_for_variant",
+    "profile_for",
+    "variant_description",
+]

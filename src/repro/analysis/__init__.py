@@ -1,0 +1,27 @@
+"""Experiment harness and reporting.
+
+:mod:`repro.analysis.harness` runs (benchmark, variant) pairs with
+caching so that the per-figure benchmark files can share baseline runs;
+:mod:`repro.analysis.report` renders the paper-vs-measured tables printed
+by the benchmark harness and recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.harness import (
+    EvaluationSettings,
+    cached_run,
+    clear_run_cache,
+    overhead_percent,
+    run_figure_series,
+)
+from repro.analysis.report import format_comparison_table, format_series_table, geometric_mean
+
+__all__ = [
+    "EvaluationSettings",
+    "cached_run",
+    "clear_run_cache",
+    "format_comparison_table",
+    "format_series_table",
+    "geometric_mean",
+    "overhead_percent",
+    "run_figure_series",
+]

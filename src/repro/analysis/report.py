@@ -1,0 +1,54 @@
+"""Text reporting helpers for the benchmark harness and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def format_series_table(
+    title: str,
+    measured: Mapping[str, float],
+    paper: Optional[Mapping[str, float]] = None,
+    *,
+    unit: str = "%",
+) -> str:
+    """Render one figure's series as an aligned text table.
+
+    Args:
+        title: Table heading (e.g. ``"Figure 5: FLUSH overhead"``).
+        measured: Benchmark -> measured value (should include "average").
+        paper: Optional benchmark -> paper-reported value for comparison.
+        unit: Unit suffix used in the header.
+    """
+    lines = [title, "-" * len(title)]
+    header = f"{'benchmark':<12} {'measured (' + unit + ')':>16}"
+    if paper is not None:
+        header += f" {'paper (' + unit + ')':>14}"
+    lines.append(header)
+    for name, value in measured.items():
+        row = f"{name:<12} {value:>16.2f}"
+        if paper is not None:
+            paper_value = paper.get(name)
+            row += f" {paper_value:>14.2f}" if paper_value is not None else f" {'-':>14}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_comparison_table(rows: Dict[str, tuple], title: str = "") -> str:
+    """Render rows of ``name -> (measured, paper)`` pairs."""
+    lines = []
+    if title:
+        lines.extend([title, "-" * len(title)])
+    lines.append(f"{'metric':<28} {'measured':>12} {'paper':>12}")
+    for name, (measured, paper) in rows.items():
+        lines.append(f"{name:<28} {measured:>12.2f} {paper:>12.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Branch-predictor residue across a context switch.
+
+The branch predictor is deeply stateful; after a victim is de-scheduled,
+an attacker scheduled onto the same core can infer the victim's control
+flow from the predictions it observes (Section 6.1).  The experiment
+trains the predictor with a victim whose branch direction encodes a secret
+bit, context-switches to the attacker, and checks whether the attacker's
+first predictions for the same PC reveal the bit.  With the MI6 purge on
+the transition, the predictor is reset to a public state and nothing is
+learned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ooo.branch_predictor import TournamentPredictor
+
+
+@dataclass(frozen=True)
+class BranchResidueResult:
+    """Outcome of the branch-residue experiment.
+
+    Attributes:
+        secret_bit: The victim's secret branch direction.
+        attacker_guess: What the attacker inferred from the prediction.
+        leaked: True if the guess equals the secret *because of* residue
+            (i.e. the prediction differed from the reset-state prediction).
+    """
+
+    secret_bit: bool
+    attacker_guess: bool
+    leaked: bool
+
+
+class BranchResidueAttack:
+    """Cross-context-switch branch predictor attack."""
+
+    #: PC of the victim branch the attacker mirrors (attacker can use the
+    #: same virtual address because the predictor is indexed by PC only).
+    TARGET_PC = 0x0040_1234
+
+    def __init__(self, *, purge_on_switch: bool) -> None:
+        self.purge_on_switch = purge_on_switch
+        self.predictor = TournamentPredictor()
+
+    def run(self, secret_bit: bool, *, training_iterations: int = 64) -> BranchResidueResult:
+        """Train as the victim, context switch, observe as the attacker."""
+        reference = TournamentPredictor()
+        baseline_prediction = reference.predict(self.TARGET_PC)
+
+        # Victim: repeatedly executes a branch whose direction is the secret.
+        for _ in range(training_iterations):
+            self.predictor.update(self.TARGET_PC, secret_bit)
+
+        # Context switch: MI6 purges the predictor, the baseline does not.
+        if self.purge_on_switch:
+            self.predictor.flush()
+
+        # Attacker: observes the prediction for the same PC.
+        observed = self.predictor.predict(self.TARGET_PC)
+        leaked = observed != baseline_prediction or (
+            not self.purge_on_switch and observed == secret_bit and secret_bit != baseline_prediction
+        )
+        # The attacker's best guess is simply the observed prediction.
+        return BranchResidueResult(secret_bit=secret_bit, attacker_guess=observed, leaked=leaked and observed == secret_bit)

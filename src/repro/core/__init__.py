@@ -1,0 +1,44 @@
+"""The MI6 core contribution: secure-enclave support for a speculative OoO processor.
+
+This package layers the MI6 mechanisms on top of the RiscyOO substrate:
+
+* :mod:`repro.core.config` — the machine configuration (Figure 4) plus the
+  MI6 security switches;
+* :mod:`repro.core.protection` — protection domains and the per-core
+  DRAM-region access bitvector (Section 5.3);
+* :mod:`repro.core.purge` — the ``purge`` instruction: what it scrubs, how
+  long it stalls, and the indistinguishability audit (Section 6.1);
+* :mod:`repro.core.variants` — the seven evaluation variants of Section 7
+  (BASE, FLUSH, PART, MISS, ARB, NONSPEC, F+P+M+A);
+* :mod:`repro.core.processor` — :class:`MI6Processor`, the single-core
+  evaluation vehicle that runs synthetic workloads under a chosen variant;
+* :mod:`repro.core.isolation` — checkers used by tests and examples to
+  demonstrate Property 1 (strong isolation).
+"""
+
+from repro.core.config import MI6Config
+from repro.core.isolation import (
+    llc_sets_disjoint,
+    timing_independence_report,
+    verify_purged_state,
+)
+from repro.core.processor import MI6Processor, WorkloadRun
+from repro.core.protection import ProtectionDomain, RegionBitvector
+from repro.core.purge import PurgeResult, PurgeUnit
+from repro.core.variants import Variant, config_for_variant, variant_description
+
+__all__ = [
+    "MI6Config",
+    "MI6Processor",
+    "ProtectionDomain",
+    "PurgeResult",
+    "PurgeUnit",
+    "RegionBitvector",
+    "Variant",
+    "WorkloadRun",
+    "config_for_variant",
+    "llc_sets_disjoint",
+    "timing_independence_report",
+    "variant_description",
+    "verify_purged_state",
+]

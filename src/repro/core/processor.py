@@ -1,0 +1,184 @@
+"""MI6Processor: the single-core evaluation vehicle.
+
+The paper evaluates MI6 by running one SPEC benchmark at a time on a
+single core of the FPGA prototype, with the multiprocessor effects (LLC
+partition size, MSHR partitioning, arbiter latency) folded into the LLC
+configuration exactly as described in Sections 7.2-7.4.  An
+:class:`MI6Processor` assembles the same single-core machine from an
+:class:`~repro.core.config.MI6Config`: shared LLC and DRAM, one core with
+its private hierarchy, the protection-domain plumbing, and (for the FLUSH
+style variants) a purge unit wired to the trap path.
+
+The multi-core, multi-domain *functional* platform (security monitor,
+untrusted OS, enclaves) lives in :mod:`repro.os_model.machine`; this class
+is about timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatsRegistry
+from repro.core.config import MI6Config
+from repro.core.protection import ProtectionDomain, RegionBitvector
+from repro.core.purge import PurgeUnit
+from repro.mem.dram import DramController
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.llc import LastLevelCache
+from repro.mem.page_table import PageTable
+from repro.ooo.core import CoreResult, OutOfOrderCore
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec_cint2006 import profile_for
+
+
+@dataclass
+class WorkloadRun:
+    """Result of running one workload on one configuration.
+
+    Attributes:
+        benchmark: Benchmark name.
+        config_name: Machine configuration name (variant).
+        instructions: Committed instructions.
+        result: Full core timing result (cycles, counters).
+    """
+
+    benchmark: str
+    config_name: str
+    instructions: int
+    result: CoreResult
+
+    @property
+    def cycles(self) -> int:
+        """Total execution time in cycles."""
+        return self.result.cycles
+
+    def overhead_vs(self, baseline: "WorkloadRun") -> float:
+        """Increased runtime relative to ``baseline``, as a percentage."""
+        if baseline.cycles == 0:
+            return 0.0
+        return 100.0 * (self.cycles - baseline.cycles) / baseline.cycles
+
+
+class MI6Processor:
+    """Single-core machine built from an :class:`MI6Config`."""
+
+    def __init__(self, config: MI6Config, *, seed: int = 2019) -> None:
+        self.config = config
+        self.seed = seed
+        self.stats = StatsRegistry()
+        rng = DeterministicRng(seed)
+        self.dram = DramController(config.dram, stats=self.stats)
+        self.llc = LastLevelCache(
+            config.effective_llc_config(),
+            config.address_map,
+            self.dram,
+            rng=rng,
+            stats=self.stats,
+        )
+        self.hierarchy = MemoryHierarchy(
+            core_id=0,
+            llc=self.llc,
+            dram=self.dram,
+            address_map=config.address_map,
+            rng=rng,
+            stats=self.stats,
+        )
+        self.core = OutOfOrderCore(
+            self.hierarchy, config.effective_core_config(), stats=self.stats
+        )
+        self.purge_unit = PurgeUnit(self.core, self.hierarchy, stats=self.stats)
+        if config.flush_on_context_switch:
+            self.core.purge_callback = self.purge_unit.stall_only
+        self.region_bitvector = RegionBitvector(config.address_map, stats=self.stats)
+        self._domain: Optional[ProtectionDomain] = None
+
+    # ------------------------------------------------------------------
+    # Protection-domain setup
+
+    def install_domain(self, domain: ProtectionDomain) -> None:
+        """Install a protection domain on the core (what the monitor does)."""
+        self._domain = domain
+        self.region_bitvector.set_regions(domain.regions)
+        self.hierarchy.install_context(
+            page_table=domain.page_table,
+            region_allowed=self.region_bitvector.is_allowed,
+            owner=domain.domain_id,
+        )
+
+    def build_workload_domain(
+        self, workload: SyntheticWorkload, *, domain_id: int = 1, first_region: int = 1
+    ) -> ProtectionDomain:
+        """Create a protection domain and page tables for a workload.
+
+        Physical pages are allocated *sequentially* from the base of the
+        domain's first DRAM region, mirroring how Linux allocates pages
+        for a benchmark started right after boot (Section 7.2) — this is
+        the allocation pattern that makes the set-partitioned index
+        function produce extra conflict misses.
+        """
+        address_map = self.config.address_map
+        regions = set(
+            range(first_region, first_region + self.config.regions_per_enclave)
+        )
+        domain = ProtectionDomain(
+            domain_id=domain_id,
+            name=f"domain-{workload.profile.name}",
+            regions=regions,
+            cores={0},
+            is_enclave=True,
+        )
+        table = PageTable(asid=domain_id)
+        base_physical = address_map.region_base(first_region)
+        table.root_physical_address = base_physical
+        # Reserve the first pages for the page table itself, then map the
+        # workload's virtual pages to consecutive physical pages.
+        next_physical = base_physical + table.page_bytes * 8
+        for virtual_page in workload.virtual_pages(table.page_bytes):
+            table.mappings[virtual_page] = next_physical // table.page_bytes
+            next_physical += table.page_bytes
+        domain.page_table = table
+        return domain
+
+    # ------------------------------------------------------------------
+    # Running workloads
+
+    def warm_up(self, workload: SyntheticWorkload) -> None:
+        """Prime the caches/TLBs with the workload's resident working set.
+
+        The paper measures benchmarks that have been running for a long
+        time, so their working sets are resident in the hierarchy.  The
+        synthetic generator's reuse-distance draws assume the same; this
+        touches the pre-populated line history once and then clears the
+        statistics so the measured interval starts from steady state.
+        """
+        for virtual_address in workload.warmup_addresses():
+            self.hierarchy.data_access(virtual_address)
+        for virtual_address in workload.warmup_code_addresses():
+            self.hierarchy.fetch_access(virtual_address)
+        self.stats.reset()
+
+    def run_workload(
+        self,
+        benchmark: Union[str, WorkloadProfile],
+        *,
+        instructions: int = 50_000,
+        seed: Optional[int] = None,
+        warm_up: bool = True,
+    ) -> WorkloadRun:
+        """Run a benchmark profile to completion and return its timing."""
+        profile = profile_for(benchmark) if isinstance(benchmark, str) else benchmark
+        workload = SyntheticWorkload(profile, seed=seed if seed is not None else self.seed)
+        domain = self.build_workload_domain(workload)
+        self.install_domain(domain)
+        if warm_up:
+            self.warm_up(workload)
+        result = self.core.run(workload.instructions(instructions))
+        return WorkloadRun(
+            benchmark=profile.name,
+            config_name=self.config.name,
+            instructions=result.instructions,
+            result=result,
+        )

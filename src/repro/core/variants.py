@@ -1,0 +1,108 @@
+"""The seven evaluation variants of Section 7.
+
+The paper prototypes seven processors on AWS F1 FPGAs; this module builds
+the equivalent :class:`~repro.core.config.MI6Config` for each:
+
+=========  ==========================================================
+Variant    Meaning
+=========  ==========================================================
+BASE       Insecure baseline RiscyOO (Figure 4 parameters).
+FLUSH      BASE + purge of per-core microarchitectural state on every
+           context switch (Section 7.1).
+PART       BASE + LLC set partitioning via the DRAM-region index
+           function (Section 7.2).
+MISS       BASE + LLC MSHR partitioning and sizing, modelled as 12
+           MSHRs in 4 banks with pessimistic whole-file stalls
+           (Section 7.3).
+ARB        BASE + the round-robin LLC pipeline arbiter, modelled as 8
+           extra cycles of LLC latency for a 16-core machine
+           (Section 7.4).
+NONSPEC    BASE with memory instructions executed non-speculatively
+           (Section 7.5) — the machine-mode execution regime of the
+           security monitor.
+F_P_M_A    FLUSH + PART + MISS + ARB: the enclave steady-state cost
+           (Section 7.6, Figure 13).
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from enum import Enum
+from typing import Dict, List
+
+from repro.core.config import MI6Config
+
+
+class Variant(Enum):
+    """Evaluation variants of the RiscyOO/MI6 processor."""
+
+    BASE = "BASE"
+    FLUSH = "FLUSH"
+    PART = "PART"
+    MISS = "MISS"
+    ARB = "ARB"
+    NONSPEC = "NONSPEC"
+    F_P_M_A = "F+P+M+A"
+
+
+_DESCRIPTIONS: Dict[Variant, str] = {
+    Variant.BASE: "insecure baseline RiscyOO processor",
+    Variant.FLUSH: "flush per-core microarchitectural state on every context switch",
+    Variant.PART: "set-partition the LLC with the DRAM-region index function",
+    Variant.MISS: "partition and size the LLC MSHRs (12 entries, 4 banks)",
+    Variant.ARB: "round-robin LLC pipeline arbiter (+N/2 cycles of latency)",
+    Variant.NONSPEC: "execute memory instructions non-speculatively",
+    Variant.F_P_M_A: "FLUSH + PART + MISS + ARB: full enclave steady-state cost",
+}
+
+
+def variant_description(variant: Variant) -> str:
+    """One-line description of an evaluation variant."""
+    return _DESCRIPTIONS[variant]
+
+
+def all_variants() -> List[Variant]:
+    """All seven variants in the paper's order."""
+    return [
+        Variant.BASE,
+        Variant.FLUSH,
+        Variant.PART,
+        Variant.MISS,
+        Variant.ARB,
+        Variant.NONSPEC,
+        Variant.F_P_M_A,
+    ]
+
+
+def config_for_variant(variant: Variant, base: MI6Config | None = None) -> MI6Config:
+    """Build the machine configuration for an evaluation variant.
+
+    Args:
+        variant: Which Section 7 variant to build.
+        base: Optional starting configuration (Figure 4 defaults if
+            omitted); useful for scaled-down test configurations.
+    """
+    config = base or MI6Config()
+    config = replace(config, name=variant.value)
+    if variant is Variant.BASE:
+        return config
+    if variant is Variant.FLUSH:
+        return replace(config, flush_on_context_switch=True)
+    if variant is Variant.PART:
+        return replace(config, set_partition_llc=True)
+    if variant is Variant.MISS:
+        return replace(config, partition_mshrs=True)
+    if variant is Variant.ARB:
+        return replace(config, llc_arbiter=True)
+    if variant is Variant.NONSPEC:
+        return replace(config, nonspec_memory=True)
+    if variant is Variant.F_P_M_A:
+        return replace(
+            config,
+            flush_on_context_switch=True,
+            set_partition_llc=True,
+            partition_mshrs=True,
+            llc_arbiter=True,
+        )
+    raise ValueError(f"unknown variant {variant!r}")

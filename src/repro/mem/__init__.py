@@ -1,0 +1,60 @@
+"""Memory-hierarchy substrate of the MI6 reproduction.
+
+This package models every memory-system structure the paper's evaluation
+depends on:
+
+* the physical address map and its division into DRAM regions
+  (:mod:`repro.mem.address`), including the baseline and MI6
+  set-partitioned LLC index functions;
+* set-associative caches with pluggable replacement
+  (:mod:`repro.mem.cache`, :mod:`repro.mem.replacement`);
+* L1 instruction/data caches and the L1/L2 TLBs plus translation cache
+  (:mod:`repro.mem.l1`, :mod:`repro.mem.tlb`);
+* the page-table walker (:mod:`repro.mem.page_table`);
+* the shared last-level cache with MSHRs (:mod:`repro.mem.llc`,
+  :mod:`repro.mem.mshr`) and the constant-latency DRAM controller
+  (:mod:`repro.mem.dram`);
+* the *detailed* message-level LLC model of the paper's Figures 2 and 3
+  (:mod:`repro.mem.llc_detail`, :mod:`repro.mem.arbiter`,
+  :mod:`repro.mem.coherence`) used to demonstrate strong timing
+  independence.
+"""
+
+from repro.mem.address import AddressMap, CacheGeometry, IndexFunction, dram_region_of
+from repro.mem.cache import AccessResult, SetAssociativeCache
+from repro.mem.dram import DramController
+from repro.mem.hierarchy import HierarchyAccess, MemoryHierarchy
+from repro.mem.l1 import L1Cache
+from repro.mem.llc import LastLevelCache
+from repro.mem.mshr import MshrFile
+from repro.mem.page_table import PageTable, PageTableWalker
+from repro.mem.replacement import (
+    LruPolicy,
+    PseudoRandomPolicy,
+    ReplacementPolicy,
+    SelfCleaningLruPolicy,
+)
+from repro.mem.tlb import TranslationCache, Tlb
+
+__all__ = [
+    "AccessResult",
+    "AddressMap",
+    "CacheGeometry",
+    "DramController",
+    "HierarchyAccess",
+    "IndexFunction",
+    "L1Cache",
+    "LastLevelCache",
+    "LruPolicy",
+    "MemoryHierarchy",
+    "MshrFile",
+    "PageTable",
+    "PageTableWalker",
+    "PseudoRandomPolicy",
+    "ReplacementPolicy",
+    "SelfCleaningLruPolicy",
+    "SetAssociativeCache",
+    "Tlb",
+    "TranslationCache",
+    "dram_region_of",
+]

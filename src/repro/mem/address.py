@@ -1,0 +1,196 @@
+"""Physical address map, DRAM regions, and LLC index functions.
+
+MI6 divides physical memory into equally sized, contiguous DRAM regions
+(Section 5.2).  The DRAM-region ID is formed from the highest bits of the
+physical address, and the MI6 LLC replaces the *top* bits of the baseline
+cache index with the low bits of the region ID so that different regions
+map to disjoint cache sets (set partitioning / page colouring).
+
+The evaluation in Section 7.2 approximates a 16-core, 16 MB LLC machine on
+a single core by changing the 1 MB LLC's index function from ``A[9:0]`` to
+``{R[1:0], A[7:0]}`` where ``R`` is the DRAM-region ID.  Both index
+functions are implemented here and selected per processor variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.common.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache.
+
+    Attributes:
+        size_bytes: Total capacity.
+        ways: Associativity.
+        line_bytes: Cache-line size.
+    """
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "ways", "line_bytes"):
+            if not _is_power_of_two(getattr(self, name)):
+                raise ConfigurationError(f"cache geometry field {name} must be a power of two")
+        if self.size_bytes < self.ways * self.line_bytes:
+            raise ConfigurationError("cache smaller than a single set")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of line-offset bits."""
+        return _log2(self.line_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return _log2(self.num_sets)
+
+    def line_address(self, address: int) -> int:
+        """Cache-line address (the physical address without the offset)."""
+        return address >> self.offset_bits
+
+
+class IndexFunction(Enum):
+    """How the LLC maps a line address to a set index."""
+
+    BASELINE = auto()
+    """Low-order line-address bits, as in the insecure BASE processor."""
+
+    SET_PARTITIONED = auto()
+    """MI6 indexing: high bits of the index come from the DRAM-region ID."""
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Physical memory layout: total DRAM size and region count.
+
+    Attributes:
+        dram_bytes: Total physical memory (2 GB in the paper's Figure 4).
+        num_regions: Number of equally sized DRAM regions (64 in the
+            paper's discussion: the top 6 physical-address bits).
+        page_bytes: Page size; each DRAM region must be page aligned.
+    """
+
+    dram_bytes: int = 2 * 1024 * 1024 * 1024
+    num_regions: int = 64
+    page_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.dram_bytes):
+            raise ConfigurationError("dram_bytes must be a power of two")
+        if not _is_power_of_two(self.num_regions):
+            raise ConfigurationError("num_regions must be a power of two")
+        if not _is_power_of_two(self.page_bytes):
+            raise ConfigurationError("page_bytes must be a power of two")
+        if self.region_bytes % self.page_bytes != 0:
+            raise ConfigurationError("DRAM regions must hold a whole number of pages")
+
+    @property
+    def region_bytes(self) -> int:
+        """Size of one DRAM region."""
+        return self.dram_bytes // self.num_regions
+
+    @property
+    def region_bits(self) -> int:
+        """Number of bits in the DRAM-region ID."""
+        return _log2(self.num_regions)
+
+    @property
+    def pages_per_region(self) -> int:
+        """Number of 4 KB pages per DRAM region."""
+        return self.region_bytes // self.page_bytes
+
+    def region_of(self, physical_address: int) -> int:
+        """DRAM-region ID of a physical address (its highest bits)."""
+        if physical_address < 0 or physical_address >= self.dram_bytes:
+            raise ConfigurationError(
+                f"physical address {physical_address:#x} outside DRAM of size {self.dram_bytes:#x}"
+            )
+        return physical_address // self.region_bytes
+
+    def region_base(self, region: int) -> int:
+        """Base physical address of a DRAM region."""
+        if region < 0 or region >= self.num_regions:
+            raise ConfigurationError(f"region {region} out of range")
+        return region * self.region_bytes
+
+    def contains(self, physical_address: int) -> bool:
+        """True if ``physical_address`` lies inside DRAM."""
+        return 0 <= physical_address < self.dram_bytes
+
+
+def dram_region_of(physical_address: int, address_map: AddressMap) -> int:
+    """Convenience wrapper mirroring the hardware DRAM-region extraction."""
+    return address_map.region_of(physical_address)
+
+
+class LlcIndexer:
+    """Computes LLC set indices under the baseline or MI6 index function.
+
+    For a line address ``A`` (physical address shifted right by the line
+    offset) and a DRAM-region ID ``R``:
+
+    * baseline index: ``A mod num_sets`` (``A[index_bits-1:0]``),
+    * partitioned index: ``{R[region_index_bits-1:0], A[low_bits-1:0]}``
+      where ``region_index_bits`` bits of the index are taken from the
+      region ID.  With 4 regions allocated to a protection domain (as in
+      Section 7.2) only the low 2 region bits vary, which is exactly the
+      ``{R[1:0], A[7:0]}`` indexing the paper evaluates.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        address_map: AddressMap,
+        index_function: IndexFunction,
+        region_index_bits: int = 2,
+    ) -> None:
+        if region_index_bits < 0 or region_index_bits > geometry.index_bits:
+            raise ConfigurationError("region_index_bits must fit within the cache index")
+        self._geometry = geometry
+        self._address_map = address_map
+        self._index_function = index_function
+        self._region_index_bits = region_index_bits
+
+    @property
+    def index_function(self) -> IndexFunction:
+        """Which index function this indexer implements."""
+        return self._index_function
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        """Cache geometry this indexer targets."""
+        return self._geometry
+
+    def set_index(self, physical_address: int) -> int:
+        """Set index for a physical address."""
+        line = self._geometry.line_address(physical_address)
+        if self._index_function is IndexFunction.BASELINE:
+            return line & (self._geometry.num_sets - 1)
+        low_bits = self._geometry.index_bits - self._region_index_bits
+        region = self._address_map.region_of(physical_address)
+        region_part = region & ((1 << self._region_index_bits) - 1)
+        return (region_part << low_bits) | (line & ((1 << low_bits) - 1))
+
+    def tag(self, physical_address: int) -> int:
+        """Tag stored for a physical address (everything above the line offset)."""
+        return self._geometry.line_address(physical_address)

@@ -1,0 +1,241 @@
+"""Generic set-associative cache model.
+
+The same structural model backs the L1 instruction/data caches, the L2
+TLB, and the functional view of the shared LLC.  It tracks tags, dirty
+bits, and an owner label per line.  The owner label (core ID or protection
+domain ID) is not something real hardware stores; it exists so the
+isolation checkers and the attack models can ask "whose line did this
+access evict?" — exactly the information a prime+probe attacker recovers
+through timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.common.stats import StatsRegistry
+from repro.mem.address import CacheGeometry
+from repro.mem.replacement import ReplacementPolicy, SelfCleaningLruPolicy
+
+
+@dataclass
+class CacheLine:
+    """One cache line's bookkeeping state."""
+
+    valid: bool = False
+    tag: int = 0
+    dirty: bool = False
+    owner: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a cache access.
+
+    Attributes:
+        hit: Whether the access hit.
+        evicted_tag: Tag of the line that was evicted to make room, if any.
+        evicted_dirty: Whether the evicted line was dirty (needs writeback).
+        evicted_owner: Owner label of the evicted line, if any.
+        set_index: The set that was accessed.
+        way: The way that now holds the line.
+    """
+
+    hit: bool
+    set_index: int
+    way: int
+    evicted_tag: Optional[int] = None
+    evicted_dirty: bool = False
+    evicted_owner: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """A set-associative cache with pluggable indexing and replacement.
+
+    Args:
+        name: Statistics prefix (e.g. ``"l1d"``).
+        geometry: Cache geometry.
+        policy: Replacement policy instance (owned by this cache).
+        index_for: Maps a physical address to a set index.  Defaults to the
+            low-order line-address bits; the LLC passes the MI6
+            set-partitioned index function here.
+        tag_for: Maps a physical address to the stored tag.  Defaults to
+            the full line address so that lines are unambiguous regardless
+            of the index function.
+        stats: Statistics registry to record hits/misses/evictions into.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy,
+        index_for: Optional[Callable[[int], int]] = None,
+        tag_for: Optional[Callable[[int], int]] = None,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.geometry = geometry
+        self._policy = policy
+        self._index_for = index_for or self._default_index
+        self._tag_for = tag_for or geometry.line_address
+        self._stats = stats or StatsRegistry()
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(geometry.ways)] for _ in range(geometry.num_sets)
+        ]
+
+    @property
+    def stats(self) -> StatsRegistry:
+        """Statistics registry used by this cache."""
+        return self._stats
+
+    @property
+    def policy(self) -> ReplacementPolicy:
+        """Replacement policy instance."""
+        return self._policy
+
+    def _default_index(self, physical_address: int) -> int:
+        return self.geometry.line_address(physical_address) & (self.geometry.num_sets - 1)
+
+    def set_index(self, physical_address: int) -> int:
+        """Set index a physical address maps to."""
+        return self._index_for(physical_address)
+
+    def lookup(self, physical_address: int) -> bool:
+        """Probe the cache without modifying any state.
+
+        Returns True on a hit.  Used by attack models (probing) and by the
+        isolation checker.
+        """
+        set_index = self._index_for(physical_address)
+        tag = self._tag_for(physical_address)
+        return any(line.valid and line.tag == tag for line in self._sets[set_index])
+
+    def access(
+        self,
+        physical_address: int,
+        *,
+        is_write: bool = False,
+        owner: Optional[int] = None,
+        allocate: bool = True,
+    ) -> AccessResult:
+        """Perform an access, allocating on a miss.
+
+        Returns an :class:`AccessResult` describing the hit/miss and any
+        eviction the fill caused.
+        """
+        set_index = self._index_for(physical_address)
+        tag = self._tag_for(physical_address)
+        lines = self._sets[set_index]
+        self._stats.counter(f"{self.name}.access").increment()
+
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                self._stats.counter(f"{self.name}.hit").increment()
+                self._policy.touch(set_index, way)
+                if is_write:
+                    line.dirty = True
+                if owner is not None:
+                    line.owner = owner
+                return AccessResult(hit=True, set_index=set_index, way=way)
+
+        self._stats.counter(f"{self.name}.miss").increment()
+        if not allocate:
+            return AccessResult(hit=False, set_index=set_index, way=-1)
+
+        valid_flags = [line.valid for line in lines]
+        victim_way = self._policy.victim(set_index, valid_flags)
+        victim = lines[victim_way]
+        evicted_tag: Optional[int] = None
+        evicted_dirty = False
+        evicted_owner: Optional[int] = None
+        if victim.valid:
+            evicted_tag = victim.tag
+            evicted_dirty = victim.dirty
+            evicted_owner = victim.owner
+            self._stats.counter(f"{self.name}.eviction").increment()
+            if evicted_dirty:
+                self._stats.counter(f"{self.name}.writeback").increment()
+
+        lines[victim_way] = CacheLine(valid=True, tag=tag, dirty=is_write, owner=owner)
+        self._policy.touch(set_index, victim_way)
+        return AccessResult(
+            hit=False,
+            set_index=set_index,
+            way=victim_way,
+            evicted_tag=evicted_tag,
+            evicted_dirty=evicted_dirty,
+            evicted_owner=evicted_owner,
+        )
+
+    def invalidate_address(self, physical_address: int) -> bool:
+        """Invalidate the line holding ``physical_address`` if present."""
+        set_index = self._index_for(physical_address)
+        tag = self._tag_for(physical_address)
+        lines = self._sets[set_index]
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                lines[way] = CacheLine()
+                self._policy.invalidate(set_index, way)
+                self._note_if_set_empty(set_index)
+                return True
+        return False
+
+    def flush_all(self) -> int:
+        """Invalidate every line; returns the number of valid lines flushed.
+
+        This is the structural effect of the purge instruction on a
+        core-private cache.  The cost model (cycles of stall) lives in
+        :mod:`repro.core.purge`; this method only scrubs the state.
+        """
+        flushed = 0
+        for set_index, lines in enumerate(self._sets):
+            for way, line in enumerate(lines):
+                if line.valid:
+                    flushed += 1
+                lines[way] = CacheLine()
+        self._policy.reset()
+        self._stats.counter(f"{self.name}.flush_lines").increment(flushed)
+        return flushed
+
+    def valid_line_count(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(1 for lines in self._sets for line in lines if line.valid)
+
+    def occupancy_by_owner(self) -> dict:
+        """Number of valid lines per owner label (isolation diagnostics)."""
+        occupancy: dict = {}
+        for lines in self._sets:
+            for line in lines:
+                if line.valid:
+                    occupancy[line.owner] = occupancy.get(line.owner, 0) + 1
+        return occupancy
+
+    def set_contents(self, set_index: int) -> List[CacheLine]:
+        """Copy of the lines in one set (tests and attack models)."""
+        return [CacheLine(line.valid, line.tag, line.dirty, line.owner) for line in self._sets[set_index]]
+
+    def owners_in_set(self, set_index: int) -> set:
+        """Distinct owner labels with valid lines in ``set_index``."""
+        return {line.owner for line in self._sets[set_index] if line.valid}
+
+    def _note_if_set_empty(self, set_index: int) -> None:
+        if isinstance(self._policy, SelfCleaningLruPolicy):
+            if not any(line.valid for line in self._sets[set_index]):
+                self._policy.note_set_empty(set_index)
+
+    @property
+    def miss_count(self) -> int:
+        """Total misses recorded so far."""
+        return self._stats.value(f"{self.name}.miss")
+
+    @property
+    def hit_count(self) -> int:
+        """Total hits recorded so far."""
+        return self._stats.value(f"{self.name}.hit")
+
+    @property
+    def access_count(self) -> int:
+        """Total accesses recorded so far."""
+        return self._stats.value(f"{self.name}.access")

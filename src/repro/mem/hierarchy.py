@@ -1,0 +1,271 @@
+"""Per-core view of the memory hierarchy.
+
+The out-of-order core timing model performs every instruction fetch, data
+access, and page-table walk through a :class:`MemoryHierarchy`, which owns
+the core-private structures (L1 I/D caches, L1 I/D TLBs, the L2 TLB and
+translation cache) and references the shared structures (LLC, DRAM
+controller).  Every physical address produced here — including the
+addresses touched by page-table walks — is passed through the protection
+domain's DRAM-region check, mirroring the MI6 hardware of Section 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import ProtectionFault
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatsRegistry
+from repro.mem.address import AddressMap
+from repro.mem.dram import DramController
+from repro.mem.l1 import L1Cache
+from repro.mem.llc import LastLevelCache
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import TranslationCache, Tlb
+
+#: Latency of an L2 TLB hit on top of an L1 TLB miss, in cycles.
+L2_TLB_HIT_LATENCY = 4
+
+
+@dataclass(frozen=True)
+class HierarchyAccess:
+    """Timing and event summary of one memory-hierarchy access.
+
+    Attributes:
+        latency: Total load-to-use (or fetch) latency in cycles, excluding
+            MSHR-availability stalls which the core model adds.
+        physical_address: Translated physical address (None if the access
+            faulted or was suppressed by the protection check).
+        l1_hit: Whether the access hit in its L1 cache.
+        llc_accessed: Whether the access reached the LLC.
+        llc_hit: Whether the LLC access hit (meaningless if not accessed).
+        llc_set: LLC set index touched (for attack/partition analysis).
+        llc_bank: MSHR bank a miss would occupy.
+        llc_writeback: Whether the LLC fill evicted a dirty line.
+        tlb_walk_accesses: Memory accesses performed by the page walk.
+        page_fault: True when translation failed.
+        blocked_by_protection: True when the DRAM-region check suppressed
+            the access (the speculative case of Section 5.3: the access is
+            simply not emitted).
+    """
+
+    latency: int
+    physical_address: Optional[int] = None
+    l1_hit: bool = True
+    llc_accessed: bool = False
+    llc_hit: bool = False
+    llc_set: int = -1
+    llc_bank: int = 0
+    llc_writeback: bool = False
+    tlb_walk_accesses: int = 0
+    page_fault: bool = False
+    blocked_by_protection: bool = False
+
+
+class MemoryHierarchy:
+    """Core-private caches/TLBs plus references to the shared LLC and DRAM.
+
+    Args:
+        core_id: Index of the owning core.
+        llc: Shared last-level cache.
+        dram: Shared DRAM controller.
+        address_map: Physical address map (for region computation).
+        rng: Deterministic random source for replacement policies.
+        stats: Statistics registry (shared with the core model).
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        llc: LastLevelCache,
+        dram: DramController,
+        address_map: AddressMap,
+        *,
+        rng: Optional[DeterministicRng] = None,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.llc = llc
+        self.dram = dram
+        self.address_map = address_map
+        self._stats = stats or StatsRegistry()
+        rng = rng or DeterministicRng(0)
+        self.l1i = L1Cache("l1i", rng=rng.fork("l1i", core_id), stats=self._stats)
+        self.l1d = L1Cache("l1d", rng=rng.fork("l1d", core_id), stats=self._stats)
+        self.itlb = Tlb("itlb", entries=32, stats=self._stats)
+        self.dtlb = Tlb("dtlb", entries=32, stats=self._stats)
+        self.l2tlb = Tlb("l2tlb", entries=1024, ways=4, stats=self._stats)
+        self.translation_cache = TranslationCache(stats=self._stats)
+        # Current translation context; installed by the OS / security
+        # monitor on a context switch.  None means bare physical mode.
+        self.page_table: Optional[PageTable] = None
+        # DRAM-region access check installed by the protection domain.
+        self.region_allowed: Optional[Callable[[int], bool]] = None
+        # Owner label recorded on cache lines (protection-domain id).
+        self.owner: Optional[int] = None
+
+    @property
+    def stats(self) -> StatsRegistry:
+        """Statistics registry used by this hierarchy."""
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Translation
+
+    def _check_region(self, physical_address: int) -> bool:
+        """True if the access to ``physical_address`` is permitted."""
+        if self.region_allowed is None:
+            return True
+        return self.region_allowed(physical_address)
+
+    def _translate(
+        self, virtual_address: int, tlb: Tlb
+    ) -> tuple[Optional[int], int, int, bool]:
+        """Translate through the given L1 TLB.
+
+        Returns ``(physical_address, extra_latency, walk_accesses, fault)``.
+        """
+        extra_latency = 0
+        walk_accesses = 0
+        if self.page_table is None:
+            physical = virtual_address % self.address_map.dram_bytes
+            return physical, extra_latency, walk_accesses, False
+
+        if tlb.access(virtual_address):
+            physical = self.page_table.translate(virtual_address)
+            return physical, extra_latency, walk_accesses, physical is None
+
+        if self.l2tlb.access(virtual_address):
+            extra_latency += L2_TLB_HIT_LATENCY
+            physical = self.page_table.translate(virtual_address)
+            return physical, extra_latency, walk_accesses, physical is None
+
+        # Full (possibly shortened) page-table walk.
+        skipped = self.translation_cache.deepest_hit_level(virtual_address)
+        levels = max(1, self.page_table.walk_levels - skipped)
+        extra_latency += L2_TLB_HIT_LATENCY
+        for level in range(levels):
+            pte_address = (
+                self.page_table.root_physical_address + level * self.page_table.page_bytes
+            ) % self.address_map.dram_bytes
+            walk_accesses += 1
+            extra_latency += self._physical_data_access(
+                pte_address, is_write=False, count_as="ptw"
+            ).latency
+        self.translation_cache.fill(virtual_address)
+        physical = self.page_table.translate(virtual_address)
+        return physical, extra_latency, walk_accesses, physical is None
+
+    # ------------------------------------------------------------------
+    # Physical-side accesses
+
+    def _physical_data_access(
+        self, physical_address: int, *, is_write: bool, count_as: str = "data"
+    ) -> HierarchyAccess:
+        """Access the data-side hierarchy with an already translated address."""
+        if not self._check_region(physical_address):
+            self._stats.counter("protection.blocked_accesses").increment()
+            return HierarchyAccess(latency=0, blocked_by_protection=True)
+        l1_result = self.l1d.access(physical_address, is_write=is_write, owner=self.owner)
+        latency = self.l1d.hit_latency
+        if l1_result.hit:
+            return HierarchyAccess(
+                latency=latency, physical_address=physical_address, l1_hit=True
+            )
+        outcome = self.llc.access(
+            physical_address, is_write=is_write, core=self.core_id, owner=self.owner
+        )
+        latency += outcome.latency
+        self._stats.counter(f"{count_as}.llc_access").increment()
+        return HierarchyAccess(
+            latency=latency,
+            physical_address=physical_address,
+            l1_hit=False,
+            llc_accessed=True,
+            llc_hit=outcome.hit,
+            llc_set=outcome.set_index,
+            llc_bank=outcome.bank,
+            llc_writeback=outcome.writeback,
+        )
+
+    # ------------------------------------------------------------------
+    # Public access points used by the core model
+
+    def data_access(self, virtual_address: int, *, is_write: bool = False) -> HierarchyAccess:
+        """Perform a load or store through the data-side hierarchy."""
+        physical, extra, walk_accesses, fault = self._translate(virtual_address, self.dtlb)
+        if fault:
+            self._stats.counter("mem.page_faults").increment()
+            return HierarchyAccess(latency=extra, tlb_walk_accesses=walk_accesses, page_fault=True)
+        access = self._physical_data_access(physical, is_write=is_write)
+        return HierarchyAccess(
+            latency=access.latency + extra,
+            physical_address=access.physical_address,
+            l1_hit=access.l1_hit,
+            llc_accessed=access.llc_accessed,
+            llc_hit=access.llc_hit,
+            llc_set=access.llc_set,
+            llc_bank=access.llc_bank,
+            llc_writeback=access.llc_writeback,
+            tlb_walk_accesses=walk_accesses,
+            blocked_by_protection=access.blocked_by_protection,
+        )
+
+    def fetch_access(self, virtual_address: int) -> HierarchyAccess:
+        """Perform an instruction fetch (one cache line) through the I-side."""
+        physical, extra, walk_accesses, fault = self._translate(virtual_address, self.itlb)
+        if fault:
+            self._stats.counter("mem.instruction_page_faults").increment()
+            return HierarchyAccess(latency=extra, tlb_walk_accesses=walk_accesses, page_fault=True)
+        if not self._check_region(physical):
+            self._stats.counter("protection.blocked_fetches").increment()
+            return HierarchyAccess(latency=0, blocked_by_protection=True)
+        l1_result = self.l1i.access(physical, owner=self.owner)
+        latency = self.l1i.hit_latency + extra
+        if l1_result.hit:
+            return HierarchyAccess(
+                latency=latency, physical_address=physical, tlb_walk_accesses=walk_accesses
+            )
+        outcome = self.llc.access(physical, core=self.core_id, owner=self.owner)
+        return HierarchyAccess(
+            latency=latency + outcome.latency,
+            physical_address=physical,
+            l1_hit=False,
+            llc_accessed=True,
+            llc_hit=outcome.hit,
+            llc_set=outcome.set_index,
+            llc_bank=outcome.bank,
+            tlb_walk_accesses=walk_accesses,
+        )
+
+    # ------------------------------------------------------------------
+    # Purge support
+
+    def flush_core_private_state(self) -> dict:
+        """Scrub all core-private memory structures.
+
+        Returns a dictionary of entries flushed per structure.  The stall
+        cycles charged for the flush are computed by the purge cost model
+        (:mod:`repro.core.purge`), which knows the per-cycle flush
+        bandwidth of each structure.
+        """
+        return {
+            "l1i_lines": self.l1i.flush_all(),
+            "l1d_lines": self.l1d.flush_all(),
+            "itlb_entries": self.itlb.flush_all(),
+            "dtlb_entries": self.dtlb.flush_all(),
+            "l2tlb_entries": self.l2tlb.flush_all(),
+            "translation_cache_entries": self.translation_cache.flush_all(),
+        }
+
+    def install_context(
+        self,
+        page_table: Optional[PageTable],
+        region_allowed: Optional[Callable[[int], bool]],
+        owner: Optional[int],
+    ) -> None:
+        """Install a new translation/protection context (context switch)."""
+        self.page_table = page_table
+        self.region_allowed = region_allowed
+        self.owner = owner

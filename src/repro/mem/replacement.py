@@ -1,0 +1,139 @@
+"""Cache replacement policies.
+
+Three policies are modelled because the paper relies on their specific
+properties for the purge analysis (Section 6.1):
+
+* RiscyOO's L1 caches use a *pseudo-random* replacement policy with no
+  replacement state, so scrubbing the tags is enough;
+* the TLBs and translation caches use an LRU policy that is
+  *self-cleaning*: once a set is emptied, refills happen in a fixed order,
+  so priming the structure scrubs the replacement state;
+* a plain LRU policy is provided for experiments that want one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.common.rng import DeterministicRng
+
+
+class ReplacementPolicy(ABC):
+    """Replacement state and victim selection for one cache set."""
+
+    @abstractmethod
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        """Choose the way to evict in ``set_index``.
+
+        ``valid`` marks which ways currently hold a line; policies must
+        prefer an invalid way when one exists.
+        """
+
+    @abstractmethod
+    def touch(self, set_index: int, way: int) -> None:
+        """Record a hit or fill of ``way`` in ``set_index``."""
+
+    @abstractmethod
+    def invalidate(self, set_index: int, way: int) -> None:
+        """Record that ``way`` was invalidated."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Scrub all replacement state to its initial (public) value."""
+
+    def holds_program_state(self) -> bool:
+        """True if the policy retains program-dependent state after reset.
+
+        Used by the purge audit: a policy whose state survives a reset
+        (or whose reset is not indistinguishable from the initial state)
+        would require extra scrubbing.
+        """
+        return False
+
+
+def _first_invalid(valid: List[bool]) -> Optional[int]:
+    for way, is_valid in enumerate(valid):
+        if not is_valid:
+            return way
+    return None
+
+
+class PseudoRandomPolicy(ReplacementPolicy):
+    """Stateless pseudo-random replacement (RiscyOO L1 caches).
+
+    The victim way is drawn from a deterministic RNG.  Because the policy
+    holds no per-set state there is nothing to scrub on purge; the paper
+    calls this out as the reason the L1 replacement state needs no special
+    handling.
+    """
+
+    def __init__(self, rng: DeterministicRng) -> None:
+        self._rng = rng
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid_way = _first_invalid(valid)
+        if invalid_way is not None:
+            return invalid_way
+        return self._rng.integer(0, len(valid) - 1)
+
+    def touch(self, set_index: int, way: int) -> None:
+        return None
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+class LruPolicy(ReplacementPolicy):
+    """True least-recently-used replacement.
+
+    Keeps a recency stack per set.  A plain LRU cache retains
+    program-dependent ordering even after all lines are invalidated unless
+    the stack is also cleared, which :meth:`reset` does.
+    """
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self._num_sets = num_sets
+        self._ways = ways
+        self._stacks: List[List[int]] = [list(range(ways)) for _ in range(num_sets)]
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid_way = _first_invalid(valid)
+        if invalid_way is not None:
+            return invalid_way
+        return self._stacks[set_index][-1]
+
+    def touch(self, set_index: int, way: int) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.insert(0, way)
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.append(way)
+
+    def reset(self) -> None:
+        self._stacks = [list(range(self._ways)) for _ in range(self._num_sets)]
+
+    def recency_order(self, set_index: int) -> List[int]:
+        """Most- to least-recently-used way order (exposed for tests)."""
+        return list(self._stacks[set_index])
+
+
+class SelfCleaningLruPolicy(LruPolicy):
+    """LRU policy with the self-cleaning fill property of RiscyOO's TLBs.
+
+    Section 6.1: "when no line's data is present in a set, new lines are
+    filled in a pre-defined order; the act of filling an LRU cache to
+    prime it for eviction scrubs private information in the replacement
+    state."  We model this by resetting a set's recency stack to the
+    canonical order whenever its last valid line is invalidated.
+    """
+
+    def note_set_empty(self, set_index: int) -> None:
+        """Restore the canonical fill order for an empty set."""
+        self._stacks[set_index] = list(range(self._ways))

@@ -1,0 +1,25 @@
+"""Security monitor: the trusted machine-mode software of MI6.
+
+The monitor (Section 6.2) maps the high-level enclave semantics onto the
+low-level hardware invariants: it verifies that resource allocations
+proposed by the untrusted OS do not overlap, orchestrates ``purge`` and
+LLC-region scrubbing around protection-domain transitions, implements the
+mailbox and privileged-memcopy communication primitives, measures enclaves
+for attestation, and protects its own memory with a physical address
+region (PAR).
+"""
+
+from repro.monitor.enclave import Enclave, EnclaveState
+from repro.monitor.mailbox import Mailbox, MailboxMessage
+from repro.monitor.measurement import measure_pages
+from repro.monitor.security_monitor import MonitorCallResult, SecurityMonitor
+
+__all__ = [
+    "Enclave",
+    "EnclaveState",
+    "Mailbox",
+    "MailboxMessage",
+    "MonitorCallResult",
+    "SecurityMonitor",
+    "measure_pages",
+]

@@ -1,0 +1,52 @@
+"""Enclave objects managed by the security monitor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, Optional, Set
+
+from repro.core.protection import ProtectionDomain
+
+
+class EnclaveState(Enum):
+    """Lifecycle states of an enclave."""
+
+    CREATED = auto()       # regions assigned, pages being loaded
+    MEASURED = auto()      # measurement finalised, ready to schedule
+    RUNNING = auto()       # scheduled on at least one core
+    SUSPENDED = auto()     # de-scheduled, state resident in its regions
+    DESTROYED = auto()     # resources scrubbed and returned to the OS
+
+
+@dataclass
+class Enclave:
+    """One enclave: a strengthened process in a dedicated protection domain.
+
+    Attributes:
+        enclave_id: Unique identifier.
+        domain: The protection domain (DRAM regions + cores) backing it.
+        entry_point: Virtual address of the statically defined entry point.
+        state: Lifecycle state.
+        measurement: Hash of the loaded pages (local/remote attestation).
+        loaded_pages: Virtual page number -> bytes-like page contents.
+        mailbox_peers: Enclave ids allowed to exchange mailbox messages.
+    """
+
+    enclave_id: int
+    domain: ProtectionDomain
+    entry_point: int = 0
+    state: EnclaveState = EnclaveState.CREATED
+    measurement: Optional[str] = None
+    loaded_pages: Dict[int, bytes] = field(default_factory=dict)
+    mailbox_peers: Set[int] = field(default_factory=set)
+
+    @property
+    def is_schedulable(self) -> bool:
+        """True when the enclave can be scheduled onto a core."""
+        return self.state in (EnclaveState.MEASURED, EnclaveState.SUSPENDED)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the enclave is destroyed."""
+        return self.state is not EnclaveState.DESTROYED

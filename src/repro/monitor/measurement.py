@@ -1,0 +1,54 @@
+"""Enclave measurement and attestation helpers.
+
+The platform proves enclave integrity to a remote party by measuring the
+enclave's initial contents (code, data, configuration) while it is being
+loaded, and signing the measurement with a platform key derived at secure
+boot ([36] in the paper).  The cryptography is out of scope here; we model
+the measurement as a SHA-256 over the loaded pages and the attestation as
+a tuple binding the measurement to a platform identity string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict
+
+
+def measure_pages(pages: Dict[int, bytes], entry_point: int = 0) -> str:
+    """Measurement (hex digest) of an enclave's initial state.
+
+    Pages are hashed in virtual-address order so the measurement is
+    independent of load order, exactly like a real enclave measurement.
+    """
+    digest = hashlib.sha256()
+    digest.update(entry_point.to_bytes(8, "little"))
+    for virtual_page in sorted(pages):
+        digest.update(virtual_page.to_bytes(8, "little"))
+        digest.update(pages[virtual_page])
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Attestation:
+    """A (modelled) signed attestation of an enclave measurement."""
+
+    platform_identity: str
+    enclave_measurement: str
+    report_data: bytes = b""
+
+    def verify(self, expected_measurement: str, trusted_platforms: set) -> bool:
+        """Check the attestation against an expected measurement."""
+        return (
+            self.platform_identity in trusted_platforms
+            and self.enclave_measurement == expected_measurement
+        )
+
+
+def attest(platform_identity: str, measurement: str, report_data: bytes = b"") -> Attestation:
+    """Produce an attestation binding ``measurement`` to the platform."""
+    return Attestation(
+        platform_identity=platform_identity,
+        enclave_measurement=measurement,
+        report_data=report_data,
+    )

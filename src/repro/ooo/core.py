@@ -1,0 +1,348 @@
+"""Cycle-approximate timing model of the RiscyOO out-of-order core.
+
+The model processes a dynamic instruction stream in program order and
+computes, for each instruction, the cycles at which it is fetched,
+dispatched, issued, completed and committed, subject to the structural
+constraints of Figure 4 (2-wide fetch/rename/commit, an 80-entry ROB,
+four execution pipelines, bounded load/store queues) and to the memory
+hierarchy model of :mod:`repro.mem`.  Branch mispredictions, cache and TLB
+misses, MSHR availability, and trap handling all feed back into the
+instruction timing, which is what the paper's evaluation measures.
+
+It is a timing *approximation*, not an RTL simulator: instructions are
+processed one at a time with O(1) bookkeeping, which keeps full SPEC-like
+workload sweeps tractable in pure Python while preserving the effects the
+MI6 evaluation depends on (Sections 7.1-7.6).  Known simplifications are
+listed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.common.stats import StatsRegistry
+from repro.isa.instructions import Instruction, InstructionKind, TrapCause
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.ooo.frontend import FrontEnd
+from repro.ooo.lsq import LoadStoreQueue, StoreBuffer
+from repro.ooo.rename import FreeList, RenameTable
+from repro.ooo.rob import IssueQueue, ReorderBuffer
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Parameters of the core timing model (Figure 4 defaults).
+
+    Attributes:
+        fetch_width: Instructions fetched/renamed per cycle.
+        commit_width: Instructions committed per cycle.
+        rob_entries: Reorder-buffer capacity.
+        frontend_depth: Cycles from fetch to dispatch.
+        load_queue_entries / store_queue_entries / store_buffer_entries:
+            Load-store unit capacities.
+        alu_units / mem_units / fp_units: Execution pipelines.
+        mul_div_latency / fp_latency: Long-operation latencies.
+        mispredict_penalty: Redirect cycles after a resolved misprediction
+            (on top of the front-end refill).
+        trap_interval_instructions: Deliver a timer interrupt every N
+            committed instructions (0 disables timer traps).
+        trap_handler_cycles: Cycles spent in the OS trap handler.
+        trap_redirect_penalty: Pipeline-drain cycles on trap entry/exit.
+        flush_on_trap: FLUSH variant — purge microarchitectural state on
+            every trap entry and exit.
+        nonspec_memory: NONSPEC variant — memory instructions are not
+            renamed until the ROB is empty.
+    """
+
+    fetch_width: int = 2
+    commit_width: int = 2
+    rob_entries: int = 80
+    frontend_depth: int = 6
+    load_queue_entries: int = 24
+    store_queue_entries: int = 14
+    store_buffer_entries: int = 4
+    alu_units: int = 2
+    mem_units: int = 1
+    fp_units: int = 1
+    mul_div_latency: int = 8
+    fp_latency: int = 4
+    mispredict_penalty: int = 3
+    trap_interval_instructions: int = 0
+    trap_handler_cycles: int = 400
+    trap_redirect_penalty: int = 10
+    flush_on_trap: bool = False
+    nonspec_memory: bool = False
+
+
+@dataclass
+class CoreResult:
+    """Summary of one simulation run.
+
+    Attributes:
+        cycles: Total execution time in cycles.
+        instructions: Committed instruction count.
+        stats: The statistics registry with every structure's counters.
+    """
+
+    cycles: int
+    instructions: int
+    stats: StatsRegistry
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def per_kilo_instruction(self, counter_name: str) -> float:
+        """A counter normalised per 1000 committed instructions."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.stats.value(counter_name) / self.instructions
+
+    @property
+    def branch_mpki(self) -> float:
+        """Branch mispredictions per 1000 instructions (Figure 7 metric)."""
+        return self.per_kilo_instruction("bp.mispredictions")
+
+    @property
+    def llc_mpki(self) -> float:
+        """LLC misses per 1000 instructions (Figure 9 metric)."""
+        return self.per_kilo_instruction("llc.miss")
+
+    @property
+    def l1d_mpki(self) -> float:
+        """L1 data-cache misses per 1000 instructions."""
+        return self.per_kilo_instruction("l1d.miss")
+
+    @property
+    def flush_stall_cycles(self) -> int:
+        """Cycles spent stalled waiting for purge flushes (Figure 6 metric)."""
+        return self.stats.value("core.flush_stall_cycles")
+
+    @property
+    def flush_stall_fraction(self) -> float:
+        """Flush stall cycles as a fraction of total execution time."""
+        return self.flush_stall_cycles / self.cycles if self.cycles else 0.0
+
+
+class OutOfOrderCore:
+    """Cycle-approximate RiscyOO core model.
+
+    Args:
+        hierarchy: Per-core memory hierarchy (owns L1s/TLBs, references the
+            shared LLC and DRAM).
+        config: Core timing parameters and variant switches.
+        stats: Statistics registry shared with the hierarchy.
+        purge_callback: Invoked on trap entry/exit when ``flush_on_trap``
+            is set; must scrub the core-private state and return the
+            number of stall cycles charged (the MI6 purge).
+    """
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        config: Optional[CoreConfig] = None,
+        *,
+        stats: Optional[StatsRegistry] = None,
+        purge_callback: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.config = config or CoreConfig()
+        self.hierarchy = hierarchy
+        self.stats = stats if stats is not None else hierarchy.stats
+        self.purge_callback = purge_callback
+        self.frontend = FrontEnd(hierarchy, fetch_width=self.config.fetch_width, stats=self.stats)
+        # Structural models kept for purge audits and unit tests; the hot
+        # timing loop uses scalar bookkeeping for speed.
+        self.rob = ReorderBuffer(self.config.rob_entries, self.config.commit_width)
+        self.issue_queues = {
+            "alu": IssueQueue(16),
+            "mem": IssueQueue(16),
+            "fp": IssueQueue(16),
+            "branch": IssueQueue(16),
+        }
+        self.lsq = LoadStoreQueue(self.config.load_queue_entries, self.config.store_queue_entries)
+        self.store_buffer = StoreBuffer(self.config.store_buffer_entries)
+        self.rename_table = RenameTable()
+        self.free_list = FreeList()
+        self._trap_hooks: List[Callable[[TrapCause], None]] = []
+
+    def add_trap_hook(self, hook: Callable[[TrapCause], None]) -> None:
+        """Register a callback invoked (functionally) on every trap."""
+        self._trap_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+
+    def run(self, instructions: Iterable[Instruction], *, max_instructions: Optional[int] = None) -> CoreResult:
+        """Execute an instruction stream and return the timing summary."""
+        config = self.config
+        stats = self.stats
+        hierarchy = self.hierarchy
+        frontend = self.frontend
+
+        mshr_config = hierarchy.llc.config.mshr
+        mshr_capacity = mshr_config.entries_per_core
+        bank_count = mshr_config.banks
+        bank_capacity = mshr_config.entries_per_bank
+        stall_on_any_full_bank = mshr_config.stall_whole_file_on_full_bank
+
+        commit_history: deque = deque(maxlen=config.rob_entries)
+        reg_ready: Dict[int, int] = {}
+        fu_free: Dict[str, List[int]] = {
+            "alu": [0] * config.alu_units,
+            "mem": [0] * config.mem_units,
+            "fp": [0] * config.fp_units,
+        }
+        outstanding_misses: List[tuple] = []   # (complete_cycle, bank)
+        fetch_floor = 0
+        dispatch_floor = 0
+        last_commit = 0
+        commit_two_back = 0
+        committed = 0
+        committed_since_trap = 0
+
+        counter_committed = stats.counter("core.instructions")
+        counter_branches = stats.counter("core.branches")
+        counter_traps = stats.counter("core.traps")
+        counter_syscalls = stats.counter("core.syscalls")
+        counter_flush_stall = stats.counter("core.flush_stall_cycles")
+        counter_mshr_wait = stats.counter("core.mshr_wait_cycles")
+        counter_mispredict_redirects = stats.counter("core.mispredict_redirects")
+
+        for instruction in instructions:
+            if max_instructions is not None and committed >= max_instructions:
+                break
+
+            # ---------------- fetch ----------------
+            outcome = frontend.fetch(instruction, fetch_floor)
+            dispatch = max(outcome.fetch_cycle + config.frontend_depth, dispatch_floor)
+
+            # ROB occupancy: wait for the instruction rob_entries older to commit.
+            if len(commit_history) == config.rob_entries:
+                dispatch = max(dispatch, commit_history[0])
+
+            # NONSPEC / serialising instructions wait for an empty ROB before
+            # they can be renamed; because rename is in order, everything
+            # younger is held up behind them (dispatch_floor).
+            if instruction.is_serialising or (config.nonspec_memory and instruction.is_memory):
+                dispatch = max(dispatch, last_commit)
+                dispatch_floor = max(dispatch_floor, dispatch)
+
+            # ---------------- issue ----------------
+            ready = dispatch
+            for source in instruction.srcs:
+                ready = max(ready, reg_ready.get(source, 0))
+
+            kind = instruction.kind
+            if kind in (InstructionKind.LOAD, InstructionKind.STORE):
+                unit = "mem"
+            elif kind in (InstructionKind.FP, InstructionKind.MUL_DIV):
+                unit = "fp"
+            else:
+                unit = "alu"
+            unit_slots = fu_free[unit]
+            slot_index = min(range(len(unit_slots)), key=unit_slots.__getitem__)
+            issue = max(ready, unit_slots[slot_index])
+            unit_slots[slot_index] = issue + 1
+
+            # ---------------- execute ----------------
+            mshr_wait = 0
+            if kind is InstructionKind.LOAD or kind is InstructionKind.STORE:
+                access = hierarchy.data_access(
+                    instruction.vaddr or 0, is_write=(kind is InstructionKind.STORE)
+                )
+                latency = access.latency
+                if access.llc_accessed and not access.llc_hit:
+                    # The miss needs an MSHR (and a bank slot); wait for
+                    # availability based on the misses still outstanding.
+                    start = issue
+                    outstanding_misses[:] = [
+                        entry for entry in outstanding_misses if entry[0] > start
+                    ]
+                    if len(outstanding_misses) >= mshr_capacity:
+                        completions = sorted(entry[0] for entry in outstanding_misses)
+                        start = completions[len(outstanding_misses) - mshr_capacity]
+                    if bank_count > 1:
+                        bank_completions = sorted(
+                            entry[0] for entry in outstanding_misses if entry[1] == access.llc_bank
+                        )
+                        if len(bank_completions) >= bank_capacity:
+                            start = max(start, bank_completions[len(bank_completions) - bank_capacity])
+                        if stall_on_any_full_bank:
+                            for bank in range(bank_count):
+                                per_bank = sorted(
+                                    entry[0] for entry in outstanding_misses if entry[1] == bank
+                                )
+                                if len(per_bank) >= bank_capacity:
+                                    start = max(start, per_bank[len(per_bank) - bank_capacity])
+                    mshr_wait = start - issue
+                    if mshr_wait:
+                        counter_mshr_wait.increment(mshr_wait)
+                    outstanding_misses.append((start + latency, access.llc_bank))
+                if kind is InstructionKind.STORE:
+                    # Stores complete through the store buffer; they do not
+                    # hold up dependents or commit for their miss latency.
+                    complete = issue + 1 + mshr_wait
+                else:
+                    complete = issue + latency + mshr_wait
+            elif kind is InstructionKind.MUL_DIV:
+                complete = issue + config.mul_div_latency
+            elif kind is InstructionKind.FP:
+                complete = issue + config.fp_latency
+            else:
+                complete = issue + 1
+
+            # ---------------- control resolution ----------------
+            if instruction.is_control:
+                counter_branches.increment()
+                mispredicted = frontend.resolve_control(instruction, outcome)
+                if mispredicted:
+                    counter_mispredict_redirects.increment()
+                    redirect = complete + config.mispredict_penalty
+                    fetch_floor = max(fetch_floor, redirect)
+                    frontend.redirect(redirect)
+
+            # ---------------- commit ----------------
+            commit = max(complete, last_commit)
+            if commit <= commit_two_back:
+                commit = commit_two_back + 1
+            commit_two_back = last_commit
+            last_commit = commit
+            commit_history.append(commit)
+            if instruction.dst >= 0:
+                reg_ready[instruction.dst] = complete
+            committed += 1
+            committed_since_trap += 1
+            counter_committed.increment()
+
+            # ---------------- traps ----------------
+            trap_cause: Optional[TrapCause] = instruction.trap
+            if trap_cause is None and config.trap_interval_instructions:
+                if committed_since_trap >= config.trap_interval_instructions:
+                    trap_cause = TrapCause.TIMER_INTERRUPT
+            if trap_cause is not None:
+                committed_since_trap = 0
+                counter_traps.increment()
+                if trap_cause is TrapCause.SYSCALL:
+                    counter_syscalls.increment()
+                for hook in self._trap_hooks:
+                    hook(trap_cause)
+                penalty = config.trap_redirect_penalty + config.trap_handler_cycles
+                if config.flush_on_trap and self.purge_callback is not None:
+                    # Flush on trap entry and again on return from handling
+                    # (Section 7.1), stalling the core both times.
+                    stall = self.purge_callback() + self.purge_callback()
+                    counter_flush_stall.increment(stall)
+                    penalty += stall
+                fetch_floor = max(fetch_floor, commit + penalty)
+                frontend.redirect(fetch_floor)
+                last_commit = max(last_commit, fetch_floor)
+
+        total_cycles = last_commit if committed else 0
+        return CoreResult(cycles=total_cycles, instructions=committed, stats=stats)

@@ -1,0 +1,15 @@
+"""Untrusted operating system and multi-core machine model.
+
+MI6's threat model assumes the OS (and hypervisor) may be compromised.
+This package provides a *functional* (not cycle-timed) model of the
+machine the monitor and OS manage — multiple cores sharing an LLC and
+DRAM regions — plus an untrusted OS that allocates resources and schedules
+enclaves through the security monitor, and a deliberately malicious OS
+used by the security tests to check that the monitor refuses hostile
+resource allocations.
+"""
+
+from repro.os_model.kernel import MaliciousOS, UntrustedOS
+from repro.os_model.machine import CoreComplex, Machine
+
+__all__ = ["CoreComplex", "Machine", "MaliciousOS", "UntrustedOS"]

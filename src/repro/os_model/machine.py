@@ -1,0 +1,117 @@
+"""Multi-core machine model shared by the monitor and the OS.
+
+Each core owns private microarchitectural structures (modelled by a
+:class:`~repro.mem.hierarchy.MemoryHierarchy` and an
+:class:`~repro.ooo.core.OutOfOrderCore`), a DRAM-region permission
+bitvector, and a purge unit; all cores share one LLC and DRAM controller.
+The machine is used functionally: the security monitor installs and tears
+down protection domains on cores, and the attack/property tests inspect
+the shared and private state to check isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatsRegistry
+from repro.core.config import MI6Config
+from repro.core.protection import ProtectionDomain, RegionBitvector
+from repro.core.purge import PurgeUnit
+from repro.mem.dram import DramController
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.llc import LastLevelCache
+from repro.ooo.core import OutOfOrderCore
+
+
+@dataclass
+class CoreComplex:
+    """One core plus its private structures and protection state."""
+
+    core_id: int
+    hierarchy: MemoryHierarchy
+    core: OutOfOrderCore
+    purge_unit: PurgeUnit
+    region_bitvector: RegionBitvector
+    current_domain: Optional[ProtectionDomain] = None
+    purge_count: int = 0
+    machine_mode_fetch_range: Optional[tuple] = None
+
+    def install_domain(self, domain: Optional[ProtectionDomain]) -> None:
+        """Install (or clear) the protection domain running on this core."""
+        self.current_domain = domain
+        if domain is None:
+            self.region_bitvector.set_regions(set())
+            self.hierarchy.install_context(None, self.region_bitvector.is_allowed, None)
+            return
+        self.region_bitvector.set_regions(domain.regions)
+        self.hierarchy.install_context(
+            page_table=domain.page_table,
+            region_allowed=self.region_bitvector.is_allowed,
+            owner=domain.domain_id,
+        )
+
+    def purge(self) -> int:
+        """Execute the purge instruction on this core; returns stall cycles."""
+        result = self.purge_unit.execute()
+        self.purge_count += 1
+        return result.stall_cycles
+
+
+@dataclass
+class Machine:
+    """A small multiprocessor: N cores, one LLC, one DRAM controller."""
+
+    config: MI6Config
+    num_cores: int = 2
+    stats: StatsRegistry = field(default_factory=StatsRegistry)
+    cores: List[CoreComplex] = field(default_factory=list)
+    llc: LastLevelCache = field(init=False)
+    dram: DramController = field(init=False)
+
+    def __post_init__(self) -> None:
+        rng = DeterministicRng(7)
+        self.dram = DramController(self.config.dram, stats=self.stats)
+        self.llc = LastLevelCache(
+            self.config.effective_llc_config(),
+            self.config.address_map,
+            self.dram,
+            rng=rng,
+            stats=self.stats,
+        )
+        for core_id in range(self.num_cores):
+            hierarchy = MemoryHierarchy(
+                core_id=core_id,
+                llc=self.llc,
+                dram=self.dram,
+                address_map=self.config.address_map,
+                rng=rng.fork("core", core_id),
+                stats=self.stats,
+            )
+            core = OutOfOrderCore(hierarchy, self.config.effective_core_config(), stats=self.stats)
+            self.cores.append(
+                CoreComplex(
+                    core_id=core_id,
+                    hierarchy=hierarchy,
+                    core=core,
+                    purge_unit=PurgeUnit(core, hierarchy, stats=self.stats),
+                    region_bitvector=RegionBitvector(self.config.address_map, stats=self.stats),
+                )
+            )
+
+    @property
+    def address_map(self):
+        """Physical address map of the machine."""
+        return self.config.address_map
+
+    def core(self, core_id: int) -> CoreComplex:
+        """The core complex with the given id."""
+        return self.cores[core_id]
+
+    def domains_on_cores(self) -> Dict[int, Optional[int]]:
+        """Mapping core id -> domain id currently installed (None if idle)."""
+        return {
+            core.core_id: (core.current_domain.domain_id if core.current_domain else None)
+            for core in self.cores
+        }

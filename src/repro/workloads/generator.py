@@ -1,0 +1,367 @@
+"""Deterministic synthetic instruction-stream generator.
+
+Turns a :class:`~repro.workloads.profiles.WorkloadProfile` into a lazy
+stream of abstract instructions with the statistical structure the core
+and memory models care about:
+
+* the instruction mix and register dependencies (with a configurable
+  producer-consumer distance and load-use probability);
+* a static branch population whose outcomes follow loop-like patterns for
+  the predictable classes and biased coin flips for the hard class, so a
+  history-based predictor behaves realistically (it predicts patterns
+  well, recovers its accuracy gradually after a purge, and cannot do much
+  about data-dependent branches);
+* a data access stream described by a reuse-distance mix (L1-resident,
+  LLC-resident, far, and never-seen lines), which gives direct control of
+  the L1/LLC miss rates and of the sensitivity to the MI6 set-partitioned
+  LLC index;
+* periodic system calls.
+
+The stream is fully reproducible: the same profile and seed always produce
+the same instructions, so every experiment in the benchmark harness is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List
+
+from repro.common.rng import DeterministicRng
+from repro.isa.instructions import Instruction, InstructionKind, TrapCause
+from repro.workloads.profiles import WorkloadProfile
+
+#: Base virtual address of the code segment.
+CODE_BASE = 0x0040_0000
+#: Base virtual address of the data segment.
+DATA_BASE = 0x1000_0000
+#: Bytes per cache line (fixed by the Figure 4 configuration).
+LINE_BYTES = 64
+#: Bytes per synthetic "function" of code.
+FUNCTION_BYTES = 256
+#: Dynamic branches after which the active branch window drifts.
+BRANCH_PHASE_LENGTH = 6000
+#: Size of the active branch window as a fraction of the static population.
+ACTIVE_WINDOW_FRACTION = 0.25
+
+
+class _StaticBranch:
+    """Behaviour of one static branch."""
+
+    __slots__ = ("pc", "pattern_period", "off_phase", "noise", "bias", "is_hard", "executions")
+
+    def __init__(
+        self,
+        pc: int,
+        pattern_period: int,
+        off_phase: int,
+        noise: float,
+        bias: float,
+        is_hard: bool,
+    ) -> None:
+        self.pc = pc
+        self.pattern_period = pattern_period
+        self.off_phase = off_phase
+        self.noise = noise
+        self.bias = bias
+        self.is_hard = is_hard
+        self.executions = 0
+
+    def next_outcome(self, rng: DeterministicRng) -> bool:
+        """Outcome of the next dynamic execution of this branch."""
+        self.executions += 1
+        if self.is_hard:
+            return rng.chance(self.bias)
+        taken = (self.executions % self.pattern_period) != self.off_phase
+        if self.noise and rng.chance(self.noise):
+            taken = not taken
+        return taken
+
+
+class SyntheticWorkload:
+    """Generates the dynamic instruction stream for one benchmark profile.
+
+    Args:
+        profile: Benchmark description.
+        seed: Base random seed; forked per concern so that, for example,
+            branch outcomes do not change when the memory parameters do.
+    """
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 2019) -> None:
+        self.profile = profile
+        self.seed = seed
+        rng = DeterministicRng(seed).fork("workload", profile.name)
+        self._mix_rng = rng.fork("mix")
+        self._mem_rng = rng.fork("mem")
+        self._branch_rng = rng.fork("branch")
+        self._dep_rng = rng.fork("dep")
+        self._branches = self._build_branch_population(rng.fork("branch-shape"))
+        self._num_functions = max(1, profile.code_footprint_bytes // FUNCTION_BYTES)
+        self._active_window = max(8, int(profile.static_branches * ACTIVE_WINDOW_FRACTION))
+        self._footprint_lines = profile.total_footprint_bytes // LINE_BYTES
+        # Distinct data lines in first-touch order; pre-populated so that
+        # reuse-distance draws are meaningful from the first instruction.
+        self._line_history: List[int] = list(range(min(profile.far_window_lines, self._footprint_lines)))
+        self._next_new_line = len(self._line_history) % self._footprint_lines
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+
+    def _build_branch_population(self, rng: DeterministicRng) -> List[_StaticBranch]:
+        profile = self.profile
+        branches: List[_StaticBranch] = []
+        for branch_id in range(profile.static_branches):
+            pc = CODE_BASE + (branch_id * 52) % profile.code_footprint_bytes
+            pc &= ~0x3
+            draw = rng.fraction()
+            if draw < profile.easy_branch_fraction:
+                branches.append(
+                    _StaticBranch(
+                        pc=pc,
+                        pattern_period=rng.integer(16, 48),
+                        off_phase=0,
+                        noise=0.0,
+                        bias=0.95,
+                        is_hard=False,
+                    )
+                )
+            elif draw < profile.easy_branch_fraction + profile.biased_branch_fraction:
+                branches.append(
+                    _StaticBranch(
+                        pc=pc,
+                        pattern_period=rng.integer(4, 8),
+                        off_phase=rng.integer(0, 3),
+                        noise=0.05,
+                        bias=0.85,
+                        is_hard=False,
+                    )
+                )
+            else:
+                branches.append(
+                    _StaticBranch(
+                        pc=pc,
+                        pattern_period=1,
+                        off_phase=0,
+                        noise=0.0,
+                        bias=profile.hard_branch_bias,
+                        is_hard=True,
+                    )
+                )
+        return branches
+
+    # ------------------------------------------------------------------
+    # Address-space layout helpers (used by the OS model to map pages)
+
+    def code_range(self) -> tuple:
+        """Virtual address range ``[start, end)`` of the code segment."""
+        return (CODE_BASE, CODE_BASE + self.profile.code_footprint_bytes)
+
+    def data_range(self) -> tuple:
+        """Virtual address range ``[start, end)`` of the data segment."""
+        return (DATA_BASE, DATA_BASE + self.profile.total_footprint_bytes)
+
+    def virtual_pages(self, page_bytes: int = 4096) -> List[int]:
+        """All virtual page numbers the workload can touch."""
+        pages: List[int] = []
+        for start, end in (self.code_range(), self.data_range()):
+            first = start // page_bytes
+            last = (end + page_bytes - 1) // page_bytes
+            pages.extend(range(first, last))
+        return pages
+
+    def warmup_addresses(self) -> List[int]:
+        """Virtual line addresses to prime the caches with before measuring.
+
+        The generator's reuse-distance draws assume the pre-populated line
+        history is resident in the hierarchy; the evaluation harness
+        touches these addresses once (and then resets the statistics) so
+        that the measured miss rates reflect steady state rather than a
+        cold start — mirroring how the paper's benchmarks run for a long
+        time before the measured interval.  The most recently used
+        ``llc_window_lines`` are touched a second time so that they are
+        resident even when the reachable LLC is smaller than the full
+        history (the set-partitioned configurations).
+        """
+        addresses = [DATA_BASE + line * LINE_BYTES for line in self._line_history]
+        recent = self._line_history[-self.profile.llc_window_lines:]
+        addresses.extend(DATA_BASE + line * LINE_BYTES for line in recent)
+        return addresses
+
+    def warmup_code_addresses(self) -> List[int]:
+        """Virtual addresses covering the code footprint, one per line.
+
+        The instruction footprint of a long-running benchmark is resident
+        in the LLC; priming it avoids counting its one-time cold misses in
+        the measured interval.
+        """
+        start, end = self.code_range()
+        return list(range(start, end, LINE_BYTES))
+
+    # ------------------------------------------------------------------
+    # Stream generation internals
+
+    def _data_address(self) -> int:
+        profile = self.profile
+        history = self._line_history
+        draw = self._mem_rng.fraction()
+        new_threshold = profile.new_line_fraction
+        far_threshold = new_threshold + profile.reuse_far_fraction
+        llc_threshold = far_threshold + profile.reuse_llc_fraction
+        if draw < new_threshold:
+            line = self._next_new_line
+            self._next_new_line = (self._next_new_line + 1) % self._footprint_lines
+            history.append(line)
+            if len(history) > profile.far_window_lines * 2:
+                del history[: profile.far_window_lines]
+            return DATA_BASE + line * LINE_BYTES
+        if draw < far_threshold:
+            window = min(len(history), profile.far_window_lines)
+            low = min(len(history), profile.llc_window_lines)
+            distance = self._mem_rng.integer(low, max(low, window))
+        elif draw < llc_threshold:
+            window = min(len(history), profile.llc_window_lines)
+            low = min(len(history), profile.l1_window_lines)
+            distance = self._mem_rng.integer(low, max(low, window))
+        else:
+            window = min(len(history), profile.l1_window_lines)
+            distance = self._mem_rng.integer(1, max(1, window))
+        line = history[-distance]
+        return DATA_BASE + line * LINE_BYTES
+
+    def _pick_branch(self, dynamic_branch_count: int) -> int:
+        profile = self.profile
+        phase = dynamic_branch_count // BRANCH_PHASE_LENGTH
+        window_start = (phase * 37) % profile.static_branches
+        offset = self._branch_rng.integer(0, self._active_window - 1)
+        return (window_start + offset) % profile.static_branches
+
+    #: Probability that an instruction depends on a recent (cheap) ALU result.
+    GENERIC_DEPENDENCY_PROBABILITY = 0.7
+    #: Probability that an ALU instruction consumes the most recent load value.
+    LOAD_USE_PROBABILITY = 0.3
+
+    def _sources(self, recent_alu: deque, last_load_dst: int, *, is_load: bool, is_alu: bool) -> tuple:
+        """Register sources for the next instruction.
+
+        Two dependency channels are modelled separately because they have
+        very different timing consequences: a dependence on a recent ALU
+        result is almost always satisfied by the time the consumer issues,
+        while a dependence on a load (pointer chasing for loads,
+        load-to-use for ALU operations) serialises cache misses and is
+        what the ``load_use_fraction`` / NONSPEC behaviour hinges on.
+        """
+        sources: List[int] = []
+        if recent_alu and self._dep_rng.chance(self.GENERIC_DEPENDENCY_PROBABILITY):
+            distance = min(
+                len(recent_alu),
+                self._dep_rng.geometric(self.profile.dependency_mean_distance),
+            )
+            sources.append(recent_alu[-distance])
+        if last_load_dst >= 0:
+            if is_load and self._dep_rng.chance(self.profile.load_use_fraction):
+                sources.append(last_load_dst)
+            elif is_alu and self._dep_rng.chance(self.LOAD_USE_PROBABILITY):
+                sources.append(last_load_dst)
+        return tuple(sources)
+
+    # ------------------------------------------------------------------
+    # Public stream
+
+    def instructions(self, count: int) -> Iterator[Instruction]:
+        """Yield ``count`` dynamic instructions."""
+        profile = self.profile
+        mix_items = list(profile.instruction_mix.items())
+        kinds = [name for name, _ in mix_items]
+        weights = [weight for _, weight in mix_items]
+        recent_alu: deque = deque(maxlen=64)
+        last_load_dst = -1
+        pc = CODE_BASE
+        next_register = 1
+        dynamic_branches = 0
+        since_syscall = 0
+
+        for sequence in range(count):
+            if profile.syscall_interval and since_syscall >= profile.syscall_interval:
+                since_syscall = 0
+                yield Instruction(
+                    kind=InstructionKind.SYSCALL,
+                    sequence=sequence,
+                    pc=pc,
+                    trap=TrapCause.SYSCALL,
+                )
+                continue
+            since_syscall += 1
+
+            class_name = self._mix_rng.weighted_choice(kinds, weights)
+            dst = next_register
+            next_register = next_register + 1 if next_register < 31 else 1
+            sources = self._sources(
+                recent_alu,
+                last_load_dst,
+                is_load=class_name == "load",
+                is_alu=class_name in ("alu", "mul_div", "fp"),
+            )
+
+            if class_name == "branch":
+                branch_id = self._pick_branch(dynamic_branches)
+                dynamic_branches += 1
+                static_branch = self._branches[branch_id]
+                taken = static_branch.next_outcome(self._branch_rng)
+                # Control transfers concentrate on a hot set of functions
+                # (loops and frequently called helpers); only occasionally
+                # does execution stray into the colder parts of the text.
+                hot_functions = max(1, min(64, self._num_functions))
+                if self._branch_rng.chance(0.92):
+                    target_function = self._branch_rng.integer(0, hot_functions - 1)
+                else:
+                    target_function = self._branch_rng.integer(0, self._num_functions - 1)
+                target = CODE_BASE + target_function * FUNCTION_BYTES
+                yield Instruction(
+                    kind=InstructionKind.BRANCH,
+                    sequence=sequence,
+                    pc=static_branch.pc,
+                    srcs=sources,
+                    branch_id=branch_id,
+                    taken=taken,
+                    target=target,
+                )
+                pc = target if taken else static_branch.pc + 4
+                continue
+
+            if class_name == "load":
+                yield Instruction(
+                    kind=InstructionKind.LOAD,
+                    sequence=sequence,
+                    pc=pc,
+                    dst=dst,
+                    srcs=sources,
+                    vaddr=self._data_address(),
+                )
+                last_load_dst = dst
+            elif class_name == "store":
+                yield Instruction(
+                    kind=InstructionKind.STORE,
+                    sequence=sequence,
+                    pc=pc,
+                    srcs=sources,
+                    vaddr=self._data_address(),
+                )
+            elif class_name == "mul_div":
+                yield Instruction(
+                    kind=InstructionKind.MUL_DIV, sequence=sequence, pc=pc, dst=dst, srcs=sources
+                )
+                recent_alu.append(dst)
+            elif class_name == "fp":
+                yield Instruction(
+                    kind=InstructionKind.FP, sequence=sequence, pc=pc, dst=dst, srcs=sources
+                )
+                recent_alu.append(dst)
+            else:
+                yield Instruction(
+                    kind=InstructionKind.ALU, sequence=sequence, pc=pc, dst=dst, srcs=sources
+                )
+                recent_alu.append(dst)
+
+            pc += 4
+            if pc >= CODE_BASE + profile.code_footprint_bytes:
+                pc = CODE_BASE

@@ -1,0 +1,95 @@
+"""Tests for the address map, DRAM regions, and LLC index functions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.mem.address import AddressMap, CacheGeometry, IndexFunction, LlcIndexer
+
+
+class TestCacheGeometry:
+    def test_figure4_llc_geometry(self):
+        geometry = CacheGeometry(size_bytes=1024 * 1024, ways=16, line_bytes=64)
+        assert geometry.num_sets == 1024
+        assert geometry.index_bits == 10
+        assert geometry.offset_bits == 6
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=1000, ways=8)
+
+
+class TestAddressMap:
+    def test_paper_default_regions(self):
+        address_map = AddressMap()
+        assert address_map.num_regions == 64
+        assert address_map.region_bytes == 32 * 1024 * 1024
+        assert address_map.region_of(0) == 0
+        assert address_map.region_of(address_map.dram_bytes - 1) == 63
+
+    def test_region_base_round_trips(self):
+        address_map = AddressMap()
+        for region in (0, 1, 17, 63):
+            assert address_map.region_of(address_map.region_base(region)) == region
+
+    def test_out_of_range_address_rejected(self):
+        address_map = AddressMap()
+        with pytest.raises(ConfigurationError):
+            address_map.region_of(address_map.dram_bytes)
+
+
+class TestLlcIndexer:
+    def setup_method(self):
+        self.address_map = AddressMap()
+        self.geometry = CacheGeometry(size_bytes=1024 * 1024, ways=16, line_bytes=64)
+
+    def test_baseline_index_uses_low_bits(self):
+        indexer = LlcIndexer(self.geometry, self.address_map, IndexFunction.BASELINE)
+        assert indexer.set_index(0) == 0
+        assert indexer.set_index(64) == 1
+        assert indexer.set_index(64 * 1024) == 0  # wraps after 1024 sets
+
+    def test_partitioned_index_uses_region_bits(self):
+        indexer = LlcIndexer(
+            self.geometry, self.address_map, IndexFunction.SET_PARTITIONED, region_index_bits=2
+        )
+        region0_address = 0
+        region1_address = self.address_map.region_base(1)
+        low_bits = self.geometry.index_bits - 2
+        assert indexer.set_index(region0_address) >> low_bits == 0
+        assert indexer.set_index(region1_address) >> low_bits == 1
+
+    def test_full_region_bits_give_disjoint_sets(self):
+        indexer = LlcIndexer(
+            self.geometry, self.address_map, IndexFunction.SET_PARTITIONED, region_index_bits=6
+        )
+        sets_region_2 = {
+            indexer.set_index(self.address_map.region_base(2) + offset * 64) for offset in range(64)
+        }
+        sets_region_3 = {
+            indexer.set_index(self.address_map.region_base(3) + offset * 64) for offset in range(64)
+        }
+        assert not (sets_region_2 & sets_region_3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(address=st.integers(min_value=0, max_value=2 * 1024 * 1024 * 1024 - 1))
+    def test_index_always_in_range(self, address):
+        for function in (IndexFunction.BASELINE, IndexFunction.SET_PARTITIONED):
+            indexer = LlcIndexer(self.geometry, self.address_map, function, region_index_bits=2)
+            assert 0 <= indexer.set_index(address) < self.geometry.num_sets
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        address_a=st.integers(min_value=0, max_value=2**31 - 1),
+        address_b=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_partitioned_index_separates_regions(self, address_a, address_b):
+        """Addresses in different DRAM regions never share a set when the
+        full region ID is folded into the index."""
+        indexer = LlcIndexer(
+            self.geometry, self.address_map, IndexFunction.SET_PARTITIONED, region_index_bits=6
+        )
+        region_a = self.address_map.region_of(address_a)
+        region_b = self.address_map.region_of(address_b)
+        if region_a % 16 != region_b % 16:
+            assert indexer.set_index(address_a) != indexer.set_index(address_b)

@@ -1,0 +1,68 @@
+"""Security tests: every modelled side channel is open on the baseline and
+closed on MI6 (the executable form of Property 1)."""
+
+import pytest
+
+from repro.attacks.branch_residue import BranchResidueAttack
+from repro.attacks.contention import arbiter_contention_channel, mshr_contention_channel
+from repro.attacks.prime_probe import PrimeProbeAttack
+from repro.attacks.spectre import SpectreGadgetExperiment
+
+
+class TestPrimeProbe:
+    @pytest.mark.parametrize("secret", [0, 3, 6])
+    def test_baseline_llc_leaks_victim_sets(self, secret):
+        result = PrimeProbeAttack(set_partitioned=False).run(secret)
+        assert result.leaked
+
+    @pytest.mark.parametrize("secret", [0, 3, 6])
+    def test_partitioned_llc_leaks_nothing(self, secret):
+        result = PrimeProbeAttack(set_partitioned=True).run(secret)
+        assert not result.leaked
+        assert not result.observed_sets
+
+
+class TestSpectreGadget:
+    @pytest.mark.parametrize("secret", [1, 7, 13])
+    def test_baseline_speculative_leak_recovers_secret(self, secret):
+        result = SpectreGadgetExperiment(mi6_protection=False).run(secret)
+        assert result.speculative_access_emitted
+        assert result.leaked
+
+    @pytest.mark.parametrize("secret", [1, 7, 13])
+    def test_mi6_suppresses_the_speculative_access(self, secret):
+        result = SpectreGadgetExperiment(mi6_protection=True).run(secret)
+        assert not result.speculative_access_emitted
+        assert not result.transmitted_set_observed
+        assert not result.leaked
+
+
+class TestBranchPredictorResidue:
+    @pytest.mark.parametrize("secret_bit", [True, False])
+    def test_without_purge_the_residue_reveals_the_secret_direction(self, secret_bit):
+        result = BranchResidueAttack(purge_on_switch=False).run(secret_bit)
+        assert result.attacker_guess == secret_bit
+
+    @pytest.mark.parametrize("secret_bit", [True, False])
+    def test_with_purge_the_prediction_is_secret_independent(self, secret_bit):
+        result = BranchResidueAttack(purge_on_switch=True).run(secret_bit)
+        assert not result.leaked
+
+    def test_purged_prediction_identical_for_both_secrets(self):
+        taken = BranchResidueAttack(purge_on_switch=True).run(True)
+        not_taken = BranchResidueAttack(purge_on_switch=True).run(False)
+        assert taken.attacker_guess == not_taken.attacker_guess
+
+
+class TestContentionChannels:
+    def test_mshr_channel_open_on_baseline(self):
+        assert mshr_contention_channel(secure=False, bits=[1, 0, 1, 0]).channel_open
+
+    def test_mshr_channel_closed_on_mi6(self):
+        assert not mshr_contention_channel(secure=True, bits=[1, 0, 1, 0]).channel_open
+
+    def test_arbiter_channel_open_on_baseline(self):
+        assert arbiter_contention_channel(secure=False, bits=[1, 0, 1, 0]).channel_open
+
+    def test_arbiter_channel_closed_on_mi6(self):
+        assert not arbiter_contention_channel(secure=True, bits=[1, 0, 1, 0]).channel_open

@@ -1,0 +1,103 @@
+"""Tests for the set-associative cache and replacement policies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.mem.address import CacheGeometry
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.replacement import LruPolicy, PseudoRandomPolicy, SelfCleaningLruPolicy
+
+
+def small_cache(policy=None, ways=4, sets=8):
+    geometry = CacheGeometry(size_bytes=ways * sets * 64, ways=ways, line_bytes=64)
+    policy = policy or LruPolicy(geometry.num_sets, geometry.ways)
+    return SetAssociativeCache("test", geometry, policy)
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x1000).hit is False
+        assert cache.access(0x1000).hit is True
+        assert cache.miss_count == 1
+        assert cache.hit_count == 1
+
+    def test_eviction_reports_victim(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0 * 64, owner=1)
+        cache.access(1 * 64, owner=1)
+        result = cache.access(2 * 64, owner=2)
+        assert result.hit is False
+        assert result.evicted_tag is not None
+        assert result.evicted_owner == 1
+
+    def test_dirty_eviction_flagged_as_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, is_write=True)
+        result = cache.access(64)
+        assert result.evicted_dirty is True
+
+    def test_flush_all_clears_every_line(self):
+        cache = small_cache()
+        for index in range(16):
+            cache.access(index * 64)
+        flushed = cache.flush_all()
+        assert flushed == 16
+        assert cache.valid_line_count() == 0
+        assert not cache.lookup(0)
+
+    def test_owner_occupancy_tracking(self):
+        cache = small_cache()
+        cache.access(0x0000, owner=1)
+        cache.access(0x4000, owner=2)
+        occupancy = cache.occupancy_by_owner()
+        assert occupancy[1] == 1 and occupancy[2] == 1
+
+    def test_lookup_does_not_allocate(self):
+        cache = small_cache()
+        assert cache.lookup(0x2000) is False
+        assert cache.valid_line_count() == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=120))
+    def test_capacity_never_exceeded(self, addresses):
+        cache = small_cache(ways=4, sets=8)
+        for address in addresses:
+            cache.access(address)
+        assert cache.valid_line_count() <= 32
+
+    @settings(max_examples=40, deadline=None)
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=60))
+    def test_most_recent_access_always_resident(self, addresses):
+        cache = small_cache(ways=4, sets=8)
+        for address in addresses:
+            cache.access(address)
+            assert cache.lookup(address)
+
+
+class TestReplacementPolicies:
+    def test_lru_evicts_least_recent(self):
+        policy = LruPolicy(num_sets=1, ways=2)
+        cache = SetAssociativeCache("lru", CacheGeometry(2 * 64, 2, 64), policy)
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(0 * 64)             # 1*64 is now least recently used
+        cache.access(2 * 64)             # evicts 1*64
+        assert cache.lookup(0 * 64)
+        assert not cache.lookup(1 * 64)
+
+    def test_pseudo_random_prefers_invalid_ways(self):
+        policy = PseudoRandomPolicy(DeterministicRng(9))
+        assert policy.victim(0, [True, False, True]) == 1
+
+    def test_pseudo_random_is_stateless_across_reset(self):
+        policy = PseudoRandomPolicy(DeterministicRng(9))
+        policy.reset()  # must not raise nor hold any state
+        assert policy.holds_program_state() is False
+
+    def test_self_cleaning_lru_restores_canonical_order(self):
+        policy = SelfCleaningLruPolicy(num_sets=1, ways=4)
+        policy.touch(0, 2)
+        policy.touch(0, 3)
+        policy.note_set_empty(0)
+        assert policy.recency_order(0) == [0, 1, 2, 3]

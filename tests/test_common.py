@@ -1,0 +1,84 @@
+"""Tests for the shared infrastructure (RNG, stats, errors)."""
+
+import pytest
+
+from repro.common import DeterministicRng, ProtectionFault, StatsRegistry
+from repro.common.rng import derive_seed
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        first = [DeterministicRng(42).integer(0, 1000) for _ in range(5)]
+        second = [DeterministicRng(42).integer(0, 1000) for _ in range(5)]
+        assert first == second
+
+    def test_fork_is_order_independent(self):
+        parent = DeterministicRng(7)
+        child_a_first = parent.fork("a").integer(0, 10**9)
+        parent2 = DeterministicRng(7)
+        parent2.fork("b")
+        child_a_second = parent2.fork("a").integer(0, 10**9)
+        assert child_a_first == child_a_second
+
+    def test_forks_with_different_labels_differ(self):
+        parent = DeterministicRng(7)
+        assert parent.fork("x").integer(0, 10**9) != parent.fork("y").integer(0, 10**9)
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(1)
+        assert rng.chance(1.0) is True
+        assert rng.chance(0.0) is False
+
+    def test_geometric_mean_is_positive(self):
+        rng = DeterministicRng(3)
+        samples = [rng.geometric(6.0) for _ in range(200)]
+        assert all(sample >= 1 for sample in samples)
+        assert 2.0 < sum(samples) / len(samples) < 12.0
+
+    def test_derive_seed_changes_with_components(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+
+
+class TestStatsRegistry:
+    def test_counter_creation_and_increment(self):
+        stats = StatsRegistry()
+        stats.counter("l1d.miss").increment()
+        stats.counter("l1d.miss").increment(4)
+        assert stats.value("l1d.miss") == 5
+        assert stats.value("does.not.exist") == 0
+
+    def test_histogram_statistics(self):
+        stats = StatsRegistry()
+        histogram = stats.histogram("latency")
+        for value in (10, 20, 20, 30):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(20.0)
+        assert histogram.maximum == 30
+        assert histogram.minimum == 10
+        assert histogram.total_samples == 4
+
+    def test_reset_clears_everything(self):
+        stats = StatsRegistry()
+        stats.counter("a").increment(3)
+        stats.histogram("h").record(5)
+        stats.reset()
+        assert stats.value("a") == 0
+        assert stats.histogram("h").total_samples == 0
+
+    def test_merged_with_sums_counters(self):
+        first, second = StatsRegistry(), StatsRegistry()
+        first.counter("x").increment(2)
+        second.counter("x").increment(3)
+        second.counter("y").increment(1)
+        merged = first.merged_with(second)
+        assert merged.value("x") == 5
+        assert merged.value("y") == 1
+
+
+class TestErrors:
+    def test_protection_fault_carries_address_and_region(self):
+        fault = ProtectionFault(0x1000, 3)
+        assert fault.physical_address == 0x1000
+        assert fault.region == 3
+        assert "region" in str(fault)

@@ -1,0 +1,111 @@
+"""Tests for the functional LLC model and the detailed (Figure 2/3) LLC."""
+
+from repro.common.rng import DeterministicRng
+from repro.mem.address import AddressMap, IndexFunction
+from repro.mem.dram import DramController
+from repro.mem.llc import LastLevelCache, LlcConfig
+from repro.mem.llc_detail import DetailedLlcConfig, LlcTrafficSimulator, request_latencies
+from repro.mem.mshr import MshrConfig
+
+
+def build_llc(**overrides):
+    config = LlcConfig(**overrides)
+    return LastLevelCache(config, AddressMap(), DramController(), rng=DeterministicRng(0))
+
+
+class TestFunctionalLlc:
+    def test_hit_and_miss_latency(self):
+        llc = build_llc(hit_latency=16)
+        miss = llc.access(0x1000)
+        hit = llc.access(0x1000)
+        assert miss.hit is False and miss.latency == 16 + 120
+        assert hit.hit is True and hit.latency == 16
+
+    def test_arbiter_latency_added_to_every_access(self):
+        llc = build_llc(extra_pipeline_latency=8)
+        miss = llc.access(0x2000)
+        hit = llc.access(0x2000)
+        assert miss.latency == 16 + 8 + 120
+        assert hit.latency == 16 + 8
+
+    def test_partitioned_index_groups_by_region(self):
+        llc = build_llc(index_function=IndexFunction.SET_PARTITIONED, region_index_bits=2)
+        address_map = AddressMap()
+        low_bits = llc.config.geometry.index_bits - 2
+        assert llc.set_index(address_map.region_base(1)) >> low_bits == 1
+
+    def test_scrub_region_sets_removes_only_that_region(self):
+        llc = build_llc()
+        address_map = AddressMap()
+        region1_address = address_map.region_base(1)
+        region2_address = address_map.region_base(2)
+        llc.access(region1_address, owner=1)
+        llc.access(region2_address, owner=2)
+        scrubbed = llc.scrub_region_sets(1)
+        assert scrubbed == 1
+        assert not llc.lookup(region1_address)
+        assert llc.lookup(region2_address)
+
+    def test_writeback_detected_on_dirty_eviction(self):
+        llc = build_llc()
+        # Fill one set completely with dirty lines, then overflow it.
+        base = 0
+        for way in range(llc.config.geometry.ways):
+            llc.access(base + way * llc.config.geometry.num_sets * 64, is_write=True)
+        outcome = llc.access(base + 16 * llc.config.geometry.num_sets * 64)
+        assert outcome.writeback is True
+
+
+class TestDetailedLlcTimingIndependence:
+    @staticmethod
+    def victim_trace():
+        return [(index * 30, 0x100 + index, False) for index in range(24)]
+
+    @staticmethod
+    def attacker_trace(requests=250):
+        # Attacker lines live in a DRAM region of a different colour than
+        # the victim's (the monitor guarantees this for distinct domains).
+        return [(index * 2, 0x4000 + index * 7, True) for index in range(requests)]
+
+    def run_pair(self, secure):
+        config = DetailedLlcConfig(secure=secure)
+        alone = LlcTrafficSimulator(config).run({0: self.victim_trace(), 1: []})
+        contended = LlcTrafficSimulator(config).run(
+            {0: self.victim_trace(), 1: self.attacker_trace()}
+        )
+        return request_latencies(alone, 0), request_latencies(contended, 0)
+
+    def test_mi6_llc_is_timing_independent(self):
+        alone, contended = self.run_pair(secure=True)
+        assert alone and alone == contended
+
+    def test_baseline_llc_leaks_timing(self):
+        alone, contended = self.run_pair(secure=False)
+        assert alone != contended
+
+    def test_all_requests_complete(self):
+        config = DetailedLlcConfig(secure=True)
+        results = LlcTrafficSimulator(config).run(
+            {0: self.victim_trace(), 1: self.attacker_trace(100)}
+        )
+        assert len(results[0]) == len(self.victim_trace())
+        assert len(results[1]) == 100
+
+    def test_mshr_sizing_rule_enforced_for_secure_config(self):
+        import pytest
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            DetailedLlcConfig(secure=True, mshrs_per_core=16, dram_max_outstanding=24)
+
+    def test_baseline_counts_mshr_stalls_under_load(self):
+        config = DetailedLlcConfig(secure=False, total_mshrs=2, dram_latency=200)
+        simulator = LlcTrafficSimulator(config)
+        simulator.run({0: [(0, index * 11, False) for index in range(8)], 1: []})
+        assert simulator.llc.stats.value("llc_detail.mshr_stall_cycles") > 0
+
+
+class TestLlcMshrInteraction:
+    def test_banked_mshr_config_accepted(self):
+        llc = build_llc(mshr=MshrConfig(total_entries=12, banks=4, stall_whole_file_on_full_bank=True))
+        assert llc.mshrs.config.entries_per_bank == 3

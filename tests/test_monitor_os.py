@@ -1,0 +1,135 @@
+"""Tests for the security monitor, enclave lifecycle, and the untrusted OS."""
+
+import pytest
+
+from repro.common.errors import SecurityMonitorError
+from repro.core.variants import Variant, config_for_variant
+from repro.monitor.enclave import EnclaveState
+from repro.monitor.measurement import attest, measure_pages
+from repro.monitor.security_monitor import SecurityMonitor
+from repro.os_model.kernel import MaliciousOS, UntrustedOS
+from repro.os_model.machine import Machine
+
+
+@pytest.fixture()
+def platform():
+    machine = Machine(config_for_variant(Variant.F_P_M_A), num_cores=2)
+    monitor = SecurityMonitor(machine)
+    operating_system = UntrustedOS(machine, monitor)
+    return machine, monitor, operating_system
+
+
+class TestEnclaveLifecycle:
+    def test_full_lifecycle(self, platform):
+        machine, monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code", 0x2000: b"data"}, core_id=1)
+        assert enclave.state is EnclaveState.RUNNING
+        assert enclave.measurement is not None
+        assert machine.core(1).current_domain.domain_id == enclave.enclave_id
+        monitor.deschedule_enclave(enclave, 1)
+        assert enclave.state is EnclaveState.SUSPENDED
+        monitor.destroy_enclave(enclave)
+        assert enclave.state is EnclaveState.DESTROYED
+        assert enclave.enclave_id not in monitor.live_domains()
+
+    def test_scheduling_purges_the_core(self, platform):
+        machine, monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code"}, core_id=1)
+        assert machine.core(1).purge_count >= 1
+        result = monitor.deschedule_enclave(enclave, 1)
+        assert result.purge_stall_cycles == 512
+        assert machine.core(1).purge_count >= 2
+
+    def test_enclave_core_gets_enclave_bitvector(self, platform):
+        machine, _monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code"}, core_id=1)
+        allowed = machine.core(1).region_bitvector.allowed_regions()
+        assert allowed == {2, 3}
+        assert not allowed & operating_system.domain.regions
+
+    def test_measurement_is_deterministic_and_content_sensitive(self):
+        pages = {0x1000 // 4096: b"alpha", 0x2000 // 4096: b"beta"}
+        assert measure_pages(pages) == measure_pages(dict(reversed(list(pages.items()))))
+        assert measure_pages(pages) != measure_pages({0x1000 // 4096: b"alphb"})
+
+    def test_attestation_verifies_against_trusted_platform(self, platform):
+        _machine, monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code"}, core_id=1)
+        attestation = monitor.attest_enclave(enclave)
+        assert attestation.verify(enclave.measurement, {"mi6-platform"})
+        assert not attestation.verify(enclave.measurement, {"other-platform"})
+        assert not attest("mi6-platform", "forged").verify(enclave.measurement, {"mi6-platform"})
+
+    def test_tlb_shootdown_on_domain_changes(self, platform):
+        _machine, monitor, operating_system = platform
+        before = monitor.tlb_shootdowns
+        enclave = operating_system.launch_enclave({4, 5}, {0x1000: b"x"}, core_id=1)
+        monitor.destroy_enclave(enclave)
+        assert monitor.tlb_shootdowns >= before + 2
+
+
+class TestCommunicationPrimitives:
+    def test_mailbox_send_receive(self, platform):
+        _machine, monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code"}, core_id=1)
+        monitor.mailbox_send(enclave, operating_system.os_domain_id(), b"hello world")
+        message = monitor.mailbox_receive(operating_system.os_domain_id())
+        assert message.payload == b"hello world"
+        assert message.sender_measurement == enclave.measurement
+
+    def test_mailbox_rejects_oversized_messages(self, platform):
+        _machine, monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code"}, core_id=1)
+        with pytest.raises(SecurityMonitorError):
+            monitor.mailbox_send(enclave, operating_system.os_domain_id(), b"x" * 65)
+
+    def test_memcopy_roundtrip_through_monitor(self, platform):
+        _machine, monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code"}, core_id=1)
+        monitor.os_write_buffer(enclave.enclave_id, b"request")
+        assert monitor.enclave_read_os_buffer(enclave) == b"request"
+        monitor.enclave_write_os_buffer(enclave, b"response")
+        assert monitor.os_read_buffer(enclave.enclave_id) == b"response"
+
+
+class TestMaliciousOs:
+    @pytest.fixture()
+    def hostile_platform(self):
+        machine = Machine(config_for_variant(Variant.F_P_M_A), num_cores=3)
+        monitor = SecurityMonitor(machine)
+        operating_system = MaliciousOS(machine, monitor)
+        victim = operating_system.launch_enclave({2, 3}, {0x1000: b"secret"}, core_id=1)
+        return machine, monitor, operating_system, victim
+
+    def test_cannot_grab_enclave_regions(self, hostile_platform):
+        _machine, _monitor, operating_system, victim = hostile_platform
+        assert operating_system.try_grab_enclave_regions(victim) is not None
+
+    def test_cannot_grab_monitor_par(self, hostile_platform):
+        _machine, _monitor, operating_system, _victim = hostile_platform
+        assert operating_system.try_grab_monitor_region() is not None
+
+    def test_cannot_schedule_over_running_enclave(self, hostile_platform):
+        _machine, monitor, operating_system, victim = hostile_platform
+        other = monitor.create_enclave({6, 7})
+        monitor.finalize_measurement(other)
+        assert operating_system.try_schedule_over_enclave(victim, other) is not None
+
+    def test_cannot_inject_pages_after_measurement(self, hostile_platform):
+        _machine, _monitor, operating_system, victim = hostile_platform
+        assert operating_system.try_load_page_after_measurement(victim) is not None
+
+    def test_cannot_overflow_memcopy_buffer(self, hostile_platform):
+        _machine, _monitor, operating_system, victim = hostile_platform
+        assert operating_system.try_oversized_memcopy(victim) is not None
+
+    def test_cannot_probe_enclave_memory_from_os_core(self, hostile_platform):
+        _machine, _monitor, operating_system, victim = hostile_platform
+        assert operating_system.probe_enclave_memory(victim, core_id=0) is False
+
+    def test_overlapping_enclaves_rejected(self, hostile_platform):
+        _machine, monitor, _operating_system, _victim = hostile_platform
+        first = monitor.create_enclave({10, 11})
+        assert first is not None
+        with pytest.raises(SecurityMonitorError):
+            monitor.create_enclave({11, 12})
