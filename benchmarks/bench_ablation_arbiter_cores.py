@@ -5,22 +5,18 @@ N-core machine; this sweep shows how the ARB overhead scales with N for a
 memory-intensive workload.
 """
 
-from dataclasses import replace
-
 from repro.core.config import MI6Config
-from repro.core.processor import MI6Processor
-from repro.core.variants import Variant, config_for_variant
+from repro.core.simulator import Simulator
+from repro.core.variants import Variant
 
 
 def test_bench_ablation_arbiter_core_count(benchmark):
     def sweep():
-        base = MI6Processor(config_for_variant(Variant.BASE)).run_workload(
-            "libquantum", instructions=12_000
-        )
+        base = Simulator.for_variant(Variant.BASE).run("libquantum", instructions=12_000)
         overheads = {}
         for cores in (2, 4, 8, 16, 32):
-            config = replace(config_for_variant(Variant.ARB, MI6Config(num_cores=cores)))
-            run = MI6Processor(config).run_workload("libquantum", instructions=12_000)
+            simulator = Simulator.for_variant(Variant.ARB, MI6Config(num_cores=cores))
+            run = simulator.run("libquantum", instructions=12_000)
             overheads[cores] = run.overhead_vs(base)
         return overheads
 

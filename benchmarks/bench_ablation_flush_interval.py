@@ -6,22 +6,21 @@ how the scaled-down intervals used in this reproduction inflate Figure 5/6.
 """
 
 from repro.core.config import MI6Config
-from repro.core.processor import MI6Processor
-from repro.core.variants import Variant, config_for_variant
+from repro.core.simulator import Simulator
+from repro.core.variants import Variant
 
 
 def test_bench_ablation_flush_interval(benchmark):
     def sweep():
         overheads = {}
         for interval in (2_500, 5_000, 10_000, 20_000):
-            base_config = config_for_variant(
-                Variant.BASE, MI6Config(trap_interval_instructions=interval)
+            scaled = MI6Config(trap_interval_instructions=interval)
+            base = Simulator.for_variant(Variant.BASE, scaled).run(
+                "astar", instructions=20_000
             )
-            flush_config = config_for_variant(
-                Variant.FLUSH, MI6Config(trap_interval_instructions=interval)
+            flush = Simulator.for_variant(Variant.FLUSH, scaled).run(
+                "astar", instructions=20_000
             )
-            base = MI6Processor(base_config).run_workload("astar", instructions=20_000)
-            flush = MI6Processor(flush_config).run_workload("astar", instructions=20_000)
             overheads[interval] = flush.overhead_vs(base)
         return overheads
 

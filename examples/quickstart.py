@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: run one SPEC-like workload on the insecure baseline and on MI6.
 
-This is the smallest end-to-end use of the library: build the two machine
-configurations, run the same calibrated synthetic benchmark on both, and
-print the slowdown that enclave-grade isolation costs (the paper's
-headline number is ~16.4% on average across SPEC CINT2006).
+This is the smallest end-to-end use of the library: build a simulator for
+each of the two machine configurations through the :class:`Simulator`
+facade, run the same calibrated synthetic benchmark on both, and print
+the slowdown that enclave-grade isolation costs (the paper's headline
+number is ~16.4% on average across SPEC CINT2006).
 
 Usage::
 
@@ -13,18 +14,18 @@ Usage::
 
 import sys
 
-from repro import MI6Processor, Variant, config_for_variant
+from repro import Simulator, Variant
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
     instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
 
-    base = MI6Processor(config_for_variant(Variant.BASE))
-    secured = MI6Processor(config_for_variant(Variant.F_P_M_A))
+    base = Simulator.for_variant(Variant.BASE)
+    secured = Simulator.for_variant(Variant.F_P_M_A)
 
-    base_run = base.run_workload(benchmark, instructions=instructions)
-    secured_run = secured.run_workload(benchmark, instructions=instructions)
+    base_run = base.run(benchmark, instructions=instructions)
+    secured_run = secured.run(benchmark, instructions=instructions)
 
     print(f"benchmark          : {benchmark} ({instructions} instructions)")
     print(f"BASE      cycles   : {base_run.cycles:>10}  (CPI {base_run.result.cpi:.2f})")

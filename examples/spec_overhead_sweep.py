@@ -1,40 +1,48 @@
 #!/usr/bin/env python3
 """Mini Figure 13: the enclave overhead across the SPEC CINT2006 analogues.
 
-Runs every calibrated benchmark profile on BASE and F+P+M+A and prints the
-per-benchmark slowdown next to the values read off the paper's Figure 13.
-The full benchmark harness (``pytest benchmarks/ --benchmark-only``) does
-the same for every figure; this example keeps the runs short so it
-finishes in a couple of minutes.
+Declares the sweep as an :class:`ExperimentSpec` (BASE and F+P+M+A across
+every calibrated benchmark profile) and executes it through the
+:class:`ParallelRunner`, which fans uncached runs out over worker
+processes and serves repeats from the persistent result store — so a
+second invocation of this script completes warm without re-running any
+simulation.  Prints the per-benchmark slowdown next to the values read
+off the paper's Figure 13.
 
 Usage::
 
-    python examples/spec_overhead_sweep.py [instructions_per_benchmark]
+    python examples/spec_overhead_sweep.py [instructions_per_benchmark] [jobs]
 """
 
 import sys
 
-from repro.analysis.harness import EvaluationSettings, cached_run
+from repro.analysis.engine import ExperimentSpec, ParallelRunner
+from repro.analysis.store import ResultStore
 from repro.core.variants import Variant
 from repro.workloads.characteristics import PAPER_REPORTED
-from repro.workloads.spec_cint2006 import benchmark_names
 
 
 def main() -> None:
     instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
-    settings = EvaluationSettings(instructions=instructions)
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    spec = ExperimentSpec.create(
+        variants=[Variant.BASE, Variant.F_P_M_A], instructions=instructions
+    )
+    runner = ParallelRunner(ResultStore.from_environment(), jobs=jobs)
+    result = runner.run_spec(spec)
 
     print(f"{'benchmark':<12} {'measured (%)':>14} {'paper fig13 (%)':>16}")
     print("-" * 44)
     overheads = []
-    for name in benchmark_names():
-        base = cached_run(Variant.BASE, name, settings)
-        secured = cached_run(Variant.F_P_M_A, name, settings)
-        overhead = secured.overhead_vs(base)
+    for name in spec.benchmarks:
+        overhead = result.overhead_percent(Variant.F_P_M_A, name)
         overheads.append(overhead)
         print(f"{name:<12} {overhead:>14.1f} {PAPER_REPORTED[name].overall_overhead_pct:>16.1f}")
     print("-" * 44)
     print(f"{'average':<12} {sum(overheads) / len(overheads):>14.1f} {16.4:>16.1f}")
+    print()
+    print(f"({runner.executed_runs} runs simulated, {runner.warm_runs} warm from the result store)")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,25 @@
-"""Setup shim.
+"""Package metadata and console entry points.
 
-The canonical project metadata lives in ``pyproject.toml``; this file
-exists so that ``pip install -e .`` also works on environments without the
-``wheel`` package (legacy ``setup.py develop`` code path).
+Installing the package (``pip install -e .``) provides the ``repro-bench``
+command, which reproduces paper figures and runs custom sweeps through
+the experiment engine; ``python -m repro`` works without installing.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="mi6-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'MI6: Secure Enclaves in a Speculative "
+        "Out-of-Order Processor' (Bourgeat et al., MICRO 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-bench=repro.cli:main",
+        ]
+    },
+)

@@ -16,35 +16,57 @@ Typical entry points:
 >>> run.result.cpi  # doctest: +SKIP
 """
 
+from repro.analysis.engine import (
+    EvaluationSettings,
+    ExperimentResult,
+    ExperimentSpec,
+    ParallelRunner,
+    RunRequest,
+)
+from repro.analysis.store import ResultStore
 from repro.core.config import MI6Config
 from repro.core.processor import MI6Processor, WorkloadRun
 from repro.core.protection import ProtectionDomain, RegionBitvector
 from repro.core.purge import PurgeUnit
-from repro.core.variants import Variant, config_for_variant, variant_description
+from repro.core.simulator import Simulator
+from repro.core.variants import (
+    Variant,
+    config_for_variant,
+    parse_variant,
+    variant_description,
+)
 from repro.monitor.security_monitor import SecurityMonitor
 from repro.os_model.kernel import MaliciousOS, UntrustedOS
 from repro.os_model.machine import Machine
 from repro.workloads.generator import SyntheticWorkload
 from repro.workloads.spec_cint2006 import SPEC_CINT2006, benchmark_names, profile_for
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "EvaluationSettings",
+    "ExperimentResult",
+    "ExperimentSpec",
     "MI6Config",
     "MI6Processor",
     "Machine",
     "MaliciousOS",
+    "ParallelRunner",
     "ProtectionDomain",
     "PurgeUnit",
     "RegionBitvector",
+    "ResultStore",
+    "RunRequest",
     "SPEC_CINT2006",
     "SecurityMonitor",
+    "Simulator",
     "SyntheticWorkload",
     "UntrustedOS",
     "Variant",
     "WorkloadRun",
     "benchmark_names",
     "config_for_variant",
+    "parse_variant",
     "profile_for",
     "variant_description",
 ]

@@ -1,27 +1,50 @@
-"""Experiment harness and reporting.
+"""Experiment engine, harness, and reporting.
 
-:mod:`repro.analysis.harness` runs (benchmark, variant) pairs with
-caching so that the per-figure benchmark files can share baseline runs;
-:mod:`repro.analysis.report` renders the paper-vs-measured tables printed
-by the benchmark harness and recorded in EXPERIMENTS.md.
+:mod:`repro.analysis.engine` turns sweep specifications into
+deterministic runs and fans cache misses out over worker processes;
+:mod:`repro.analysis.store` persists results in memory and on disk so
+repeated invocations are warm-start; :mod:`repro.analysis.harness`
+expresses the per-figure (benchmark, variant) comparisons on top of
+both; :mod:`repro.analysis.report` renders the paper-vs-measured tables
+printed by the benchmark harness and recorded in EXPERIMENTS.md.
 """
 
-from repro.analysis.harness import (
+from repro.analysis.engine import (
     EvaluationSettings,
+    ExperimentResult,
+    ExperimentSpec,
+    ParallelRunner,
+    RunRequest,
+    execute_request,
+    request_for,
+)
+from repro.analysis.harness import (
     cached_run,
     clear_run_cache,
+    default_store,
     overhead_percent,
     run_figure_series,
+    set_default_store,
 )
 from repro.analysis.report import format_comparison_table, format_series_table, geometric_mean
+from repro.analysis.store import ResultStore
 
 __all__ = [
     "EvaluationSettings",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ParallelRunner",
+    "ResultStore",
+    "RunRequest",
     "cached_run",
     "clear_run_cache",
+    "default_store",
+    "execute_request",
     "format_comparison_table",
     "format_series_table",
     "geometric_mean",
     "overhead_percent",
+    "request_for",
     "run_figure_series",
+    "set_default_store",
 ]

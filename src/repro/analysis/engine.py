@@ -1,0 +1,368 @@
+"""Experiment engine: sweep specs, deterministic execution, parallel runs.
+
+The paper's evaluation (Figures 5-13) is a cartesian sweep of
+(variant × benchmark) runs; the ablations and future scaling work add
+seeds and custom configurations on top.  This module is the orchestration
+layer that executes such sweeps:
+
+* :class:`EvaluationSettings` — run length and seed for one sweep,
+  controllable through ``REPRO_BENCH_INSTRUCTIONS`` / ``REPRO_BENCH_SEED``;
+* :class:`RunRequest` — one fully specified simulation (complete machine
+  configuration + workload parameters), content-addressed via
+  :func:`repro.core.serialization.run_cache_key`;
+* :class:`ExperimentSpec` — a cartesian sweep of
+  variants × benchmarks × seeds expanded into run requests;
+* :class:`ParallelRunner` — executes requests, serving repeats from a
+  :class:`~repro.analysis.store.ResultStore` and fanning cache misses out
+  over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Each request is simulated on a *fresh* machine seeded from the request
+alone, so a sweep's numbers are bit-identical whether it runs serially,
+in parallel, or split across separate processes on different days.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MI6Config
+from repro.core.processor import WorkloadRun
+from repro.core.serialization import (
+    config_from_dict,
+    config_to_dict,
+    run_cache_key,
+    run_from_dict,
+    run_to_dict,
+)
+from repro.core.simulator import DEFAULT_SEED, Simulator
+from repro.core.variants import Variant, all_variants, config_for_variant
+from repro.analysis.store import ResultStore
+from repro.workloads.spec_cint2006 import benchmark_names
+
+#: Environment variable controlling how many instructions each run commits.
+INSTRUCTIONS_ENV_VAR = "REPRO_BENCH_INSTRUCTIONS"
+#: Environment variable controlling the sweep seed.
+SEED_ENV_VAR = "REPRO_BENCH_SEED"
+#: Environment variable controlling default sweep parallelism.
+JOBS_ENV_VAR = "REPRO_BENCH_JOBS"
+#: Default instructions per run for the benchmark harness.
+DEFAULT_INSTRUCTIONS = 30_000
+#: Shorter run used for the NONSPEC variant (the paper also truncates it).
+NONSPEC_INSTRUCTIONS_FRACTION = 0.5
+#: Floor on the scaled timer-trap interval (see EXPERIMENTS.md).
+MIN_TRAP_INTERVAL = 5_000
+
+
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """Settings for one evaluation sweep."""
+
+    instructions: int = DEFAULT_INSTRUCTIONS
+    seed: int = DEFAULT_SEED
+
+    @classmethod
+    def from_environment(cls) -> "EvaluationSettings":
+        """Settings honouring ``REPRO_BENCH_INSTRUCTIONS``/``REPRO_BENCH_SEED``."""
+        instructions = int(os.environ.get(INSTRUCTIONS_ENV_VAR, DEFAULT_INSTRUCTIONS))
+        seed = int(os.environ.get(SEED_ENV_VAR, DEFAULT_SEED))
+        return cls(instructions=instructions, seed=seed)
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-compatible encoding (stable round-trip)."""
+        return {"instructions": self.instructions, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "EvaluationSettings":
+        """Rebuild settings from :meth:`to_dict` output."""
+        return cls(instructions=data["instructions"], seed=data["seed"])
+
+
+def default_jobs() -> int:
+    """Sweep parallelism honouring ``REPRO_BENCH_JOBS`` (default 1)."""
+    return max(1, int(os.environ.get(JOBS_ENV_VAR, "1")))
+
+
+# ----------------------------------------------------------------------
+# Evaluation policy: how a (variant, settings) pair becomes a request
+
+
+def instructions_for_variant(variant: Variant, instructions: int) -> int:
+    """Per-variant run length (NONSPEC runs a truncated interval)."""
+    if variant is Variant.NONSPEC:
+        return max(2_000, int(instructions * NONSPEC_INSTRUCTIONS_FRACTION))
+    return instructions
+
+
+def evaluation_config(variant: Variant, instructions: int) -> MI6Config:
+    """Machine configuration used by the evaluation for one variant.
+
+    Scales the timer-trap interval with the run length so every run sees
+    a handful of context switches regardless of how short it is;
+    EXPERIMENTS.md documents how this scaling relates to the paper's
+    Linux-scale trap intervals.
+    """
+    base = MI6Config(
+        trap_interval_instructions=max(MIN_TRAP_INTERVAL, instructions // 2)
+    )
+    return config_for_variant(variant, base)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One fully specified simulation run.
+
+    Unlike the old ``(variant, benchmark, instructions, seed)`` tuple,
+    a request carries the *complete* machine configuration, so custom
+    and ablation configurations are first-class citizens of the engine
+    and the cache key reflects every parameter that affects the numbers.
+    """
+
+    config: MI6Config
+    benchmark: str
+    instructions: int
+    seed: int = DEFAULT_SEED
+    warm_up: bool = True
+
+    def cache_key(self) -> str:
+        """Content-hash identity of this run (the store key)."""
+        return run_cache_key(
+            self.config,
+            self.benchmark,
+            self.instructions,
+            self.seed,
+            warm_up=self.warm_up,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible encoding shipped to worker processes."""
+        return {
+            "config": config_to_dict(self.config),
+            "benchmark": self.benchmark,
+            "instructions": self.instructions,
+            "seed": self.seed,
+            "warm_up": self.warm_up,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RunRequest":
+        """Rebuild a request from :meth:`to_payload` output."""
+        return cls(
+            config=config_from_dict(payload["config"]),
+            benchmark=payload["benchmark"],
+            instructions=payload["instructions"],
+            seed=payload["seed"],
+            warm_up=payload["warm_up"],
+        )
+
+
+def request_for(
+    variant: Variant,
+    benchmark: str,
+    settings: Optional[EvaluationSettings] = None,
+) -> RunRequest:
+    """Build the evaluation run request for one (variant, benchmark)."""
+    settings = settings or EvaluationSettings.from_environment()
+    instructions = instructions_for_variant(variant, settings.instructions)
+    return RunRequest(
+        config=evaluation_config(variant, instructions),
+        benchmark=benchmark,
+        instructions=instructions,
+        seed=settings.seed,
+    )
+
+
+def execute_request(request: RunRequest) -> WorkloadRun:
+    """Simulate one request on a fresh machine (the only place runs happen)."""
+    simulator = Simulator(request.config, seed=request.seed)
+    return simulator.run(
+        request.benchmark,
+        instructions=request.instructions,
+        warm_up=request.warm_up,
+    )
+
+
+def _pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point: dicts in, dicts out (always picklable)."""
+    return run_to_dict(execute_request(RunRequest.from_payload(payload)))
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A cartesian sweep: variants × benchmarks × seeds.
+
+    Requests are expanded in deterministic insertion order (variants
+    outermost, seeds innermost) so result rows line up across runs.
+    """
+
+    variants: Tuple[Variant, ...]
+    benchmarks: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (DEFAULT_SEED,)
+    instructions: int = DEFAULT_INSTRUCTIONS
+
+    @classmethod
+    def create(
+        cls,
+        variants: Optional[Sequence[Variant]] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        instructions: Optional[int] = None,
+    ) -> "ExperimentSpec":
+        """Spec with paper defaults for anything omitted.
+
+        Defaults (for ``None`` arguments): all seven variants, all
+        eleven SPEC benchmarks, the environment-controlled seed, and the
+        environment-controlled run length — i.e. the full Figure 13
+        grid.  Explicitly empty sequences are rejected rather than
+        silently expanded into the full grid.
+        """
+        for name, value in (
+            ("variants", variants),
+            ("benchmarks", benchmarks),
+            ("seeds", seeds),
+        ):
+            if value is not None and len(value) == 0:
+                raise ValueError(f"{name} must not be empty (pass None for the default)")
+        settings = EvaluationSettings.from_environment()
+        return cls(
+            variants=tuple(variants) if variants is not None else tuple(all_variants()),
+            benchmarks=(
+                tuple(benchmarks) if benchmarks is not None else tuple(benchmark_names())
+            ),
+            seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+            instructions=instructions if instructions is not None else settings.instructions,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of runs in the sweep."""
+        return len(self.variants) * len(self.benchmarks) * len(self.seeds)
+
+    def requests(self) -> List[RunRequest]:
+        """Expand the sweep into run requests (deterministic order)."""
+        return [
+            request_for(
+                variant,
+                benchmark,
+                EvaluationSettings(instructions=self.instructions, seed=seed),
+            )
+            for variant in self.variants
+            for benchmark in self.benchmarks
+            for seed in self.seeds
+        ]
+
+
+@dataclass
+class ExperimentResult:
+    """Runs of one sweep, addressable by (variant, benchmark, seed)."""
+
+    spec: ExperimentSpec
+    requests: List[RunRequest]
+    runs: List[WorkloadRun]
+    _index: Dict[Tuple[str, str, int], WorkloadRun] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for request, run in zip(self.requests, self.runs):
+            self._index[(request.config.name, request.benchmark, request.seed)] = run
+
+    def run_for(
+        self, variant: Variant, benchmark: str, seed: Optional[int] = None
+    ) -> WorkloadRun:
+        """The run for one (variant, benchmark, seed) cell of the sweep."""
+        seed = seed if seed is not None else self.spec.seeds[0]
+        return self._index[(variant.value, benchmark, seed)]
+
+    def overhead_percent(
+        self, variant: Variant, benchmark: str, seed: Optional[int] = None
+    ) -> float:
+        """Runtime overhead of ``variant`` over BASE for one benchmark.
+
+        Requires BASE in the spec.  Falls back to a per-instruction (CPI)
+        comparison when the two runs committed different instruction
+        counts (the NONSPEC truncation).
+        """
+        base = self.run_for(Variant.BASE, benchmark, seed)
+        secured = self.run_for(variant, benchmark, seed)
+        if secured.instructions != base.instructions:
+            if not base.result.cpi:
+                return 0.0
+            return 100.0 * (secured.result.cpi - base.result.cpi) / base.result.cpi
+        return secured.overhead_vs(base)
+
+
+class ParallelRunner:
+    """Executes run requests through a store, in parallel on cache misses.
+
+    Args:
+        store: Result store consulted before simulating (defaults to a
+            fresh in-memory store).
+        jobs: Worker processes for cache misses.  ``jobs=1`` executes
+            serially in-process; results are bit-identical either way.
+
+    Attributes:
+        executed_runs: Simulations actually executed by this runner.
+        warm_runs: Requests served from the store without simulating.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None, *, jobs: int = 1) -> None:
+        self.store = store if store is not None else ResultStore.in_memory()
+        self.jobs = max(1, jobs)
+        self.executed_runs = 0
+        self.warm_runs = 0
+
+    def run(self, requests: Sequence[RunRequest]) -> List[WorkloadRun]:
+        """Execute requests, returning runs in request order."""
+        requests = list(requests)
+        results: List[Optional[WorkloadRun]] = [None] * len(requests)
+        # Deduplicate by content key *before* the store lookup, so the
+        # store's hit/miss counters reflect simulations, not positions.
+        by_key: Dict[str, List[int]] = {}
+        pending: Dict[str, List[int]] = {}
+        pending_requests: Dict[str, RunRequest] = {}
+        for position, request in enumerate(requests):
+            by_key.setdefault(request.cache_key(), []).append(position)
+        for key, positions in by_key.items():
+            cached = self.store.get(key)
+            if cached is not None:
+                for position in positions:
+                    results[position] = cached
+                self.warm_runs += len(positions)
+            else:
+                pending[key] = positions
+                pending_requests[key] = requests[positions[0]]
+        if pending:
+            keys = list(pending)
+            if self.jobs == 1 or len(keys) == 1:
+                produced = [execute_request(pending_requests[key]) for key in keys]
+            else:
+                payloads = [pending_requests[key].to_payload() for key in keys]
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(keys))
+                ) as pool:
+                    produced = [
+                        run_from_dict(encoded)
+                        for encoded in pool.map(_pool_worker, payloads)
+                    ]
+            for key, run in zip(keys, produced):
+                self.store.put(key, run)
+                self.executed_runs += 1
+                for position in pending[key]:
+                    results[position] = run
+        return results  # type: ignore[return-value]
+
+    def run_one(self, request: RunRequest) -> WorkloadRun:
+        """Execute (or fetch) a single request."""
+        return self.run([request])[0]
+
+    def run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute a full sweep and return its indexed results."""
+        requests = spec.requests()
+        return ExperimentResult(spec=spec, requests=requests, runs=self.run(requests))

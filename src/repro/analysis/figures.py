@@ -19,6 +19,7 @@ from repro.analysis.harness import (
     run_figure_series,
     runtime_overhead_metric,
 )
+from repro.analysis.store import ResultStore
 from repro.core.variants import Variant, config_for_variant
 from repro.workloads.characteristics import PAPER_REPORTED
 
@@ -36,22 +37,37 @@ def figure04_configuration() -> str:
     return config_for_variant(Variant.BASE).describe()
 
 
-def figure05_flush_overhead(settings: Optional[EvaluationSettings] = None) -> FigureResult:
+def figure05_flush_overhead(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> FigureResult:
     """Figure 5: FLUSH execution-time overhead vs BASE."""
-    measured = run_figure_series(Variant.FLUSH, runtime_overhead_metric, settings)
+    measured = run_figure_series(Variant.FLUSH, runtime_overhead_metric, settings, jobs=jobs, store=store)
     return "Figure 5: FLUSH runtime overhead (%)", measured, _paper_series("flush_overhead_pct")
 
 
-def figure06_flush_stall(settings: Optional[EvaluationSettings] = None) -> FigureResult:
+def figure06_flush_stall(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> FigureResult:
     """Figure 6: stall time waiting for flushes, normalised to BASE time."""
-    measured = run_figure_series(Variant.FLUSH, flush_stall_metric, settings)
+    measured = run_figure_series(Variant.FLUSH, flush_stall_metric, settings, jobs=jobs, store=store)
     return "Figure 6: flush stall time (% of BASE)", measured, _paper_series("flush_stall_pct")
 
 
-def figure07_branch_mpki(settings: Optional[EvaluationSettings] = None) -> Tuple[str, Dict[str, float], Dict[str, float], Dict[str, float], Dict[str, float]]:
+def figure07_branch_mpki(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> Tuple[str, Dict[str, float], Dict[str, float], Dict[str, float], Dict[str, float]]:
     """Figure 7: branch MPKI for BASE and FLUSH (measured and paper)."""
-    measured_base = run_figure_series(Variant.BASE, branch_mpki_metric, settings)
-    measured_flush = run_figure_series(Variant.FLUSH, branch_mpki_metric, settings)
+    measured_base = run_figure_series(Variant.BASE, branch_mpki_metric, settings, jobs=jobs, store=store)
+    measured_flush = run_figure_series(Variant.FLUSH, branch_mpki_metric, settings, jobs=jobs, store=store)
     return (
         "Figure 7: branch mispredictions per 1K instructions",
         measured_base,
@@ -61,16 +77,26 @@ def figure07_branch_mpki(settings: Optional[EvaluationSettings] = None) -> Tuple
     )
 
 
-def figure08_part_overhead(settings: Optional[EvaluationSettings] = None) -> FigureResult:
+def figure08_part_overhead(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> FigureResult:
     """Figure 8: LLC set-partitioning overhead vs BASE."""
-    measured = run_figure_series(Variant.PART, runtime_overhead_metric, settings)
+    measured = run_figure_series(Variant.PART, runtime_overhead_metric, settings, jobs=jobs, store=store)
     return "Figure 8: PART runtime overhead (%)", measured, _paper_series("part_overhead_pct")
 
 
-def figure09_llc_mpki(settings: Optional[EvaluationSettings] = None) -> Tuple[str, Dict[str, float], Dict[str, float], Dict[str, float], Dict[str, float]]:
+def figure09_llc_mpki(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> Tuple[str, Dict[str, float], Dict[str, float], Dict[str, float], Dict[str, float]]:
     """Figure 9: LLC MPKI for BASE and PART (measured and paper)."""
-    measured_base = run_figure_series(Variant.BASE, llc_mpki_metric, settings)
-    measured_part = run_figure_series(Variant.PART, llc_mpki_metric, settings)
+    measured_base = run_figure_series(Variant.BASE, llc_mpki_metric, settings, jobs=jobs, store=store)
+    measured_part = run_figure_series(Variant.PART, llc_mpki_metric, settings, jobs=jobs, store=store)
     return (
         "Figure 9: LLC misses per 1K instructions",
         measured_base,
@@ -80,25 +106,45 @@ def figure09_llc_mpki(settings: Optional[EvaluationSettings] = None) -> Tuple[st
     )
 
 
-def figure10_mshr_overhead(settings: Optional[EvaluationSettings] = None) -> FigureResult:
+def figure10_mshr_overhead(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> FigureResult:
     """Figure 10: MSHR partitioning/sizing overhead vs BASE."""
-    measured = run_figure_series(Variant.MISS, runtime_overhead_metric, settings)
+    measured = run_figure_series(Variant.MISS, runtime_overhead_metric, settings, jobs=jobs, store=store)
     return "Figure 10: MISS runtime overhead (%)", measured, _paper_series("miss_overhead_pct")
 
 
-def figure11_arbiter_overhead(settings: Optional[EvaluationSettings] = None) -> FigureResult:
+def figure11_arbiter_overhead(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> FigureResult:
     """Figure 11: LLC round-robin arbiter overhead vs BASE."""
-    measured = run_figure_series(Variant.ARB, runtime_overhead_metric, settings)
+    measured = run_figure_series(Variant.ARB, runtime_overhead_metric, settings, jobs=jobs, store=store)
     return "Figure 11: ARB runtime overhead (%)", measured, _paper_series("arb_overhead_pct")
 
 
-def figure12_nonspec_overhead(settings: Optional[EvaluationSettings] = None) -> FigureResult:
+def figure12_nonspec_overhead(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> FigureResult:
     """Figure 12: non-speculative execution overhead vs BASE."""
-    measured = run_figure_series(Variant.NONSPEC, runtime_overhead_metric, settings)
+    measured = run_figure_series(Variant.NONSPEC, runtime_overhead_metric, settings, jobs=jobs, store=store)
     return "Figure 12: NONSPEC runtime overhead (%)", measured, _paper_series("nonspec_overhead_pct")
 
 
-def figure13_overall_overhead(settings: Optional[EvaluationSettings] = None) -> FigureResult:
+def figure13_overall_overhead(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> FigureResult:
     """Figure 13: F+P+M+A (enclave steady-state) overhead vs BASE."""
-    measured = run_figure_series(Variant.F_P_M_A, runtime_overhead_metric, settings)
+    measured = run_figure_series(Variant.F_P_M_A, runtime_overhead_metric, settings, jobs=jobs, store=store)
     return "Figure 13: F+P+M+A runtime overhead (%)", measured, _paper_series("overall_overhead_pct")

@@ -1,83 +1,111 @@
-"""Evaluation harness: runs (benchmark, variant) pairs with caching.
+"""Evaluation harness: figure-level views over the experiment engine.
 
 Every figure in the paper's evaluation compares one secured variant
-against BASE across the eleven SPEC benchmarks.  The harness runs those
-pairs, caches results so the BASE runs are shared between figures, and
-computes the derived metrics each figure reports.
+against BASE across the eleven SPEC benchmarks.  The harness expresses
+those comparisons on top of :mod:`repro.analysis.engine` (which executes
+runs, in parallel when asked) and :mod:`repro.analysis.store` (which
+keeps results in memory and on disk, so BASE runs are shared between
+figures and repeated invocations are warm-start).
 
 Run length is controlled by the ``REPRO_BENCH_INSTRUCTIONS`` environment
-variable (default 30000).  Longer runs reduce the scale-down distortions
-documented in EXPERIMENTS.md at the cost of simulation time.
+variable (default 30000) and the sweep seed by ``REPRO_BENCH_SEED``
+(default 2019).  Longer runs reduce the scale-down distortions documented
+in EXPERIMENTS.md at the cost of simulation time.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional
 
-from repro.core.config import MI6Config
-from repro.core.processor import MI6Processor, WorkloadRun
-from repro.core.variants import Variant, config_for_variant
+from repro.analysis.engine import (
+    DEFAULT_INSTRUCTIONS,
+    INSTRUCTIONS_ENV_VAR,
+    NONSPEC_INSTRUCTIONS_FRACTION,
+    SEED_ENV_VAR,
+    EvaluationSettings,
+    ParallelRunner,
+    default_jobs,
+    request_for,
+)
+from repro.analysis.store import ResultStore
+from repro.core.processor import WorkloadRun
+from repro.core.variants import Variant
 from repro.workloads.spec_cint2006 import benchmark_names
 
-#: Environment variable controlling how many instructions each run commits.
-INSTRUCTIONS_ENV_VAR = "REPRO_BENCH_INSTRUCTIONS"
-#: Default instructions per run for the benchmark harness.
-DEFAULT_INSTRUCTIONS = 30_000
-#: Shorter run used for the NONSPEC variant (the paper also truncates it).
-NONSPEC_INSTRUCTIONS_FRACTION = 0.5
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "INSTRUCTIONS_ENV_VAR",
+    "NONSPEC_INSTRUCTIONS_FRACTION",
+    "SEED_ENV_VAR",
+    "EvaluationSettings",
+    "branch_mpki_metric",
+    "cached_run",
+    "clear_run_cache",
+    "default_store",
+    "flush_stall_metric",
+    "llc_mpki_metric",
+    "overhead_percent",
+    "run_figure_series",
+    "runtime_overhead_metric",
+    "set_default_store",
+]
+
+_DEFAULT_STORE: Optional[ResultStore] = None
 
 
-@dataclass(frozen=True)
-class EvaluationSettings:
-    """Settings for one evaluation sweep."""
+def default_store() -> ResultStore:
+    """The store shared by every harness call that doesn't bring its own.
 
-    instructions: int = DEFAULT_INSTRUCTIONS
-    seed: int = 2019
-
-    @classmethod
-    def from_environment(cls) -> "EvaluationSettings":
-        """Settings honouring ``REPRO_BENCH_INSTRUCTIONS``."""
-        instructions = int(os.environ.get(INSTRUCTIONS_ENV_VAR, DEFAULT_INSTRUCTIONS))
-        return cls(instructions=instructions)
+    Created lazily from the environment: on-disk under ``.repro_cache/``
+    (or ``$REPRO_CACHE_DIR``) unless ``REPRO_CACHE=off``.
+    """
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = ResultStore.from_environment()
+    return _DEFAULT_STORE
 
 
-_RUN_CACHE: Dict[Tuple[str, str, int, int], WorkloadRun] = {}
+def set_default_store(store: ResultStore) -> ResultStore:
+    """Replace the shared store (the CLI points it at ``--cache-dir``)."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = store
+    return store
 
 
-def clear_run_cache() -> None:
-    """Discard all cached runs (used by tests that change settings)."""
-    _RUN_CACHE.clear()
+def clear_run_cache(*, disk: bool = False) -> None:
+    """Discard cached runs (used by tests that change settings).
+
+    Clears the in-memory layer; pass ``disk=True`` to also delete the
+    on-disk entries.  Content-hashed keys mean stale disk entries can
+    never be returned for a changed configuration, so clearing disk is
+    only needed to reclaim space or force fresh simulations.
+    """
+    default_store().clear(disk=disk)
 
 
 def cached_run(
     variant: Variant,
     benchmark: str,
-    settings: EvaluationSettings | None = None,
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    store: Optional[ResultStore] = None,
 ) -> WorkloadRun:
-    """Run one benchmark on one variant, caching by (variant, benchmark)."""
-    settings = settings or EvaluationSettings.from_environment()
-    instructions = settings.instructions
-    if variant is Variant.NONSPEC:
-        instructions = max(2_000, int(instructions * NONSPEC_INSTRUCTIONS_FRACTION))
-    key = (variant.value, benchmark, instructions, settings.seed)
-    if key not in _RUN_CACHE:
-        # Scale the timer-trap interval with the run length so every run
-        # sees a handful of context switches regardless of how short it
-        # is; EXPERIMENTS.md documents how this scaling relates to the
-        # paper's Linux-scale trap intervals.
-        base_config = MI6Config(trap_interval_instructions=max(5_000, instructions // 2))
-        processor = MI6Processor(config_for_variant(variant, base_config), seed=settings.seed)
-        _RUN_CACHE[key] = processor.run_workload(benchmark, instructions=instructions)
-    return _RUN_CACHE[key]
+    """Run one benchmark on one variant, served from the result store."""
+    runner = ParallelRunner(store if store is not None else default_store())
+    return runner.run_one(request_for(variant, benchmark, settings))
 
 
-def overhead_percent(variant: Variant, benchmark: str, settings: EvaluationSettings | None = None) -> float:
+def overhead_percent(
+    variant: Variant,
+    benchmark: str,
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    store: Optional[ResultStore] = None,
+) -> float:
     """Increased runtime of ``variant`` over BASE for one benchmark (%)."""
     settings = settings or EvaluationSettings.from_environment()
-    base = cached_run(Variant.BASE, benchmark, settings)
-    secured = cached_run(variant, benchmark, settings)
+    base = cached_run(Variant.BASE, benchmark, settings, store=store)
+    secured = cached_run(variant, benchmark, settings, store=store)
     # NONSPEC runs fewer instructions; compare per-instruction cost.
     if secured.instructions != base.instructions:
         base_cpi = base.result.cpi
@@ -89,20 +117,50 @@ def overhead_percent(variant: Variant, benchmark: str, settings: EvaluationSetti
 def run_figure_series(
     variant: Variant,
     metric: Callable[[WorkloadRun, WorkloadRun], float],
-    settings: EvaluationSettings | None = None,
-    benchmarks: List[str] | None = None,
+    settings: Optional[EvaluationSettings] = None,
+    benchmarks: Optional[List[str]] = None,
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> Dict[str, float]:
     """Compute ``metric(base_run, variant_run)`` for every benchmark.
 
-    Returns an ordered mapping benchmark -> value, plus an ``"average"``
-    entry (arithmetic mean, as the paper's last column).
+    Returns an *insertion-ordered* mapping: one entry per benchmark in
+    the order given (paper order by default), then a synthetic
+    ``"average"`` entry (arithmetic mean, as the paper's last column) as
+    the final key.  Because ``"average"`` is reserved for that synthetic
+    entry, a benchmark with that literal name is rejected rather than
+    silently clobbering the mean.
+
+    Args:
+        variant: Secured variant to compare against BASE.
+        metric: Figure metric computed from the (base, variant) run pair.
+        settings: Sweep settings (environment defaults if omitted).
+        benchmarks: Benchmark subset (all eleven if omitted).
+        jobs: Worker processes for uncached runs (``REPRO_BENCH_JOBS``,
+            default 1, if omitted).
+        store: Result store (the shared default store if omitted).
     """
     settings = settings or EvaluationSettings.from_environment()
-    names = benchmarks or benchmark_names()
+    names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    if not names:
+        raise ValueError("benchmarks must not be empty (omit it to sweep all eleven)")
+    if "average" in names:
+        raise ValueError(
+            'benchmark name "average" is reserved for the synthetic mean entry'
+        )
+    runner = ParallelRunner(
+        store if store is not None else default_store(),
+        jobs=jobs if jobs is not None else default_jobs(),
+    )
+    requests = [request_for(Variant.BASE, name, settings) for name in names]
+    if variant is not Variant.BASE:
+        requests += [request_for(variant, name, settings) for name in names]
+    runs = runner.run(requests)
+    base_runs = runs[: len(names)]
+    variant_runs = runs[len(names) :] if variant is not Variant.BASE else base_runs
     series: Dict[str, float] = {}
-    for name in names:
-        base = cached_run(Variant.BASE, name, settings)
-        secured = cached_run(variant, name, settings) if variant is not Variant.BASE else base
+    for name, base, secured in zip(names, base_runs, variant_runs):
         series[name] = metric(base, secured)
     series["average"] = sum(series[name] for name in names) / len(names)
     return series

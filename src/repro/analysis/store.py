@@ -1,0 +1,158 @@
+"""Persistent result store: in-memory + on-disk cache of workload runs.
+
+This replaces the old module-global ``_RUN_CACHE`` dict in the harness.
+A :class:`ResultStore` has two layers:
+
+* an in-memory dict, so repeated lookups within one process return the
+  *same* :class:`~repro.core.processor.WorkloadRun` object (the property
+  the harness always had);
+* an optional on-disk layer of JSON files under ``.repro_cache/`` (or
+  ``$REPRO_CACHE_DIR``), so repeated figure/benchmark invocations across
+  processes are warm-start: a sweep that was already simulated is served
+  from disk without re-running anything.
+
+Keys are the content hashes produced by
+:func:`repro.core.serialization.run_cache_key` — they cover the complete
+machine configuration and all workload parameters, so any configuration
+change automatically misses the cache rather than returning stale
+numbers.  Set ``REPRO_CACHE=off`` to disable the disk layer entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.processor import WorkloadRun
+from repro.core.serialization import SCHEMA_VERSION, run_from_dict, run_to_dict
+
+#: Environment variable naming the on-disk cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+#: Environment variable disabling the disk layer (``off``/``0``/``no``).
+CACHE_MODE_ENV_VAR = "REPRO_CACHE"
+#: Default on-disk cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class ResultStore:
+    """Two-layer (memory + disk) store of simulation results.
+
+    Args:
+        directory: On-disk cache directory, or ``None`` for memory-only.
+
+    Attributes:
+        memory_hits: Lookups served from the in-memory layer.
+        disk_hits: Lookups served by loading a JSON file from disk.
+        misses: Lookups that found nothing (the caller must simulate).
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: Dict[str, WorkloadRun] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    @classmethod
+    def in_memory(cls) -> "ResultStore":
+        """Store with no disk layer (tests, throwaway sweeps)."""
+        return cls(directory=None)
+
+    @classmethod
+    def from_environment(cls) -> "ResultStore":
+        """Store honouring ``REPRO_CACHE`` and ``REPRO_CACHE_DIR``."""
+        mode = os.environ.get(CACHE_MODE_ENV_VAR, "").strip().lower()
+        if mode in ("off", "0", "no", "disabled"):
+            return cls.in_memory()
+        return cls(os.environ.get(CACHE_DIR_ENV_VAR, DEFAULT_CACHE_DIR))
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+
+    def _path_for(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"run-v{SCHEMA_VERSION}-{key}.json"
+
+    def get(self, key: str) -> Optional[WorkloadRun]:
+        """Return the stored run for ``key``, or ``None`` on a miss."""
+        run = self._memory.get(key)
+        if run is not None:
+            self.memory_hits += 1
+            return run
+        if self.directory is not None:
+            path = self._path_for(key)
+            try:
+                payload = json.loads(path.read_text())
+                run = run_from_dict(payload["run"])
+            except FileNotFoundError:
+                run = None
+            except (OSError, ValueError, KeyError, TypeError):
+                # Corrupt or incompatible entry: treat as a miss and drop
+                # it so the next put() rewrites a clean file.
+                run = None
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            if run is not None:
+                self._memory[key] = run
+                self.disk_hits += 1
+                return run
+        self.misses += 1
+        return None
+
+    def put(self, key: str, run: WorkloadRun) -> None:
+        """Store a run under ``key`` in memory and (if enabled) on disk."""
+        self._memory[key] = run
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "run": run_to_dict(run)}
+        # Atomic write: a crashed or concurrent writer never leaves a
+        # half-written JSON file where a reader can see it.
+        fd, temp_name = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, self._path_for(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()
+
+    def clear_disk(self) -> None:
+        """Delete every on-disk entry this store format owns."""
+        if self.directory is None or not self.directory.is_dir():
+            return
+        for path in self.directory.glob(f"run-v{SCHEMA_VERSION}-*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the memory layer, and the disk layer too if asked."""
+        self.clear_memory()
+        if disk:
+            self.clear_disk()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.directory) if self.directory else "memory-only"
+        return f"ResultStore({where}, {len(self._memory)} in memory)"

@@ -1,0 +1,296 @@
+"""repro-bench: run paper figures and custom sweeps from the command line.
+
+Examples::
+
+    repro-bench figure fig13 --jobs 4
+    repro-bench figure all --instructions 10000
+    repro-bench sweep --variants BASE F+P+M+A --benchmarks gcc mcf --jobs 4
+    repro-bench sweep --seeds 2019 2020 2021 --benchmarks astar
+    repro-bench list
+
+Runs are served from the persistent result store (``.repro_cache/`` by
+default), so repeating an invocation is warm-start: the cache summary
+line at the end reports how many runs were actually simulated.  Use
+``--no-cache`` for a memory-only store or ``--cache-dir`` to relocate it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import figures
+from repro.analysis.engine import (
+    EvaluationSettings,
+    ExperimentSpec,
+    ParallelRunner,
+    default_jobs,
+)
+from repro.analysis.harness import set_default_store
+from repro.analysis.report import format_series_table
+from repro.analysis.store import DEFAULT_CACHE_DIR, ResultStore
+from repro.core.variants import Variant, all_variants, parse_variant
+from repro.workloads.spec_cint2006 import benchmark_names
+
+#: Figure name -> callable printing that figure's tables.
+_FigureHandler = Callable[[EvaluationSettings, Optional[int]], None]
+
+
+def _print_series_figure(figure_fn, settings: EvaluationSettings, jobs: Optional[int]) -> None:
+    title, measured, paper = figure_fn(settings, jobs=jobs)
+    print(format_series_table(title, measured, paper))
+
+
+def _print_pair_figure(
+    figure_fn, labels, settings: EvaluationSettings, jobs: Optional[int]
+) -> None:
+    title, measured_a, measured_b, paper_a, paper_b = figure_fn(settings, jobs=jobs)
+    print(title)
+    print(format_series_table(labels[0], measured_a, paper_a, unit="mpki"))
+    print()
+    print(format_series_table(labels[1], measured_b, paper_b, unit="mpki"))
+
+
+def _figure_handlers() -> Dict[str, _FigureHandler]:
+    return {
+        "fig04": lambda settings, jobs: print(figures.figure04_configuration()),
+        "fig05": lambda settings, jobs: _print_series_figure(
+            figures.figure05_flush_overhead, settings, jobs
+        ),
+        "fig06": lambda settings, jobs: _print_series_figure(
+            figures.figure06_flush_stall, settings, jobs
+        ),
+        "fig07": lambda settings, jobs: _print_pair_figure(
+            figures.figure07_branch_mpki, ("BASE", "FLUSH"), settings, jobs
+        ),
+        "fig08": lambda settings, jobs: _print_series_figure(
+            figures.figure08_part_overhead, settings, jobs
+        ),
+        "fig09": lambda settings, jobs: _print_pair_figure(
+            figures.figure09_llc_mpki, ("BASE", "PART"), settings, jobs
+        ),
+        "fig10": lambda settings, jobs: _print_series_figure(
+            figures.figure10_mshr_overhead, settings, jobs
+        ),
+        "fig11": lambda settings, jobs: _print_series_figure(
+            figures.figure11_arbiter_overhead, settings, jobs
+        ),
+        "fig12": lambda settings, jobs: _print_series_figure(
+            figures.figure12_nonspec_overhead, settings, jobs
+        ),
+        "fig13": lambda settings, jobs: _print_series_figure(
+            figures.figure13_overall_overhead, settings, jobs
+        ),
+    }
+
+
+def _normalize_figure_name(name: str) -> str:
+    text = name.strip().lower()
+    if text.startswith("figure"):
+        text = text[len("figure") :]
+    elif text.startswith("fig"):
+        text = text[len("fig") :]
+    return f"fig{int(text):02d}" if text.isdigit() else name.strip().lower()
+
+
+def _print_cache_summary(store: ResultStore) -> None:
+    print()
+    print(
+        f"cache: {store.misses} runs simulated, "
+        f"{store.disk_hits} warm from disk, "
+        f"{store.memory_hits} reused in memory"
+    )
+
+
+def _build_store(args: argparse.Namespace) -> ResultStore:
+    if args.no_cache:
+        store = ResultStore.in_memory()
+    elif args.cache_dir is not None:
+        store = ResultStore(args.cache_dir)
+    else:
+        store = ResultStore.from_environment()
+    # Point the harness-level default at the same store so figure
+    # functions (which go through the harness) share it.
+    return set_default_store(store)
+
+
+def _settings(args: argparse.Namespace) -> EvaluationSettings:
+    settings = EvaluationSettings.from_environment()
+    if args.instructions is not None:
+        settings = EvaluationSettings(instructions=args.instructions, seed=settings.seed)
+    if args.seed is not None:
+        settings = EvaluationSettings(instructions=settings.instructions, seed=args.seed)
+    return settings
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    handlers = _figure_handlers()
+    if "all" in [name.lower() for name in args.names]:
+        names = sorted(handlers)
+    else:
+        names = [_normalize_figure_name(name) for name in args.names]
+    unknown = [name for name in names if name not in handlers]
+    if unknown:
+        print(
+            f"unknown figure(s): {', '.join(unknown)} "
+            f"(expected one of: {', '.join(sorted(handlers))}, or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+    store = _build_store(args)
+    settings = _settings(args)
+    for position, name in enumerate(names):
+        if position:
+            print()
+        handlers[name](settings, args.jobs)
+    _print_cache_summary(store)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    try:
+        variants = (
+            [parse_variant(text) for text in args.variants] if args.variants else None
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    known = set(benchmark_names())
+    unknown = [name for name in args.benchmarks or [] if name not in known]
+    if unknown:
+        print(
+            f"unknown benchmark(s): {', '.join(unknown)} "
+            f"(expected: {', '.join(benchmark_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    store = _build_store(args)
+    settings = _settings(args)
+    spec = ExperimentSpec.create(
+        variants=variants,
+        benchmarks=args.benchmarks or None,
+        seeds=args.seeds or [settings.seed],
+        instructions=settings.instructions,
+    )
+    runner = ParallelRunner(
+        store, jobs=args.jobs if args.jobs is not None else default_jobs()
+    )
+    result = runner.run_spec(spec)
+
+    show_seed = len(spec.seeds) > 1
+    has_base = Variant.BASE in spec.variants
+    header = f"{'variant':<10} {'benchmark':<12}"
+    if show_seed:
+        header += f" {'seed':>6}"
+    header += f" {'instructions':>13} {'cycles':>10} {'CPI':>7}"
+    if has_base:
+        header += f" {'vs BASE (%)':>12}"
+    print(header)
+    print("-" * len(header))
+    for request, run in zip(result.requests, result.runs):
+        variant = parse_variant(request.config.name)
+        row = f"{request.config.name:<10} {request.benchmark:<12}"
+        if show_seed:
+            row += f" {request.seed:>6}"
+        row += f" {run.instructions:>13} {run.cycles:>10} {run.result.cpi:>7.3f}"
+        if has_base:
+            if variant is Variant.BASE:
+                row += f" {'-':>12}"
+            else:
+                overhead = result.overhead_percent(
+                    variant, request.benchmark, request.seed
+                )
+                row += f" {overhead:>12.2f}"
+        print(row)
+    _print_cache_summary(store)
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    print("figures:")
+    for name in sorted(_figure_handlers()):
+        print(f"  {name}")
+    print("variants:")
+    for variant in all_variants():
+        print(f"  {variant.value}")
+    print("benchmarks:")
+    for name in benchmark_names():
+        print(f"  {name}")
+    return 0
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for uncached runs (default 1)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="instructions per run (default $REPRO_BENCH_INSTRUCTIONS or 30000)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="sweep seed (default $REPRO_BENCH_SEED or 2019)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result store directory (default $REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="use a memory-only result store (no disk reads or writes)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run MI6 reproduction figures and sweeps.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure = subparsers.add_parser(
+        "figure", help="reproduce one or more paper figures (fig04..fig13, or all)"
+    )
+    figure.add_argument("names", nargs="+", metavar="FIGURE")
+    _add_common_arguments(figure)
+    figure.set_defaults(handler=_command_figure)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a custom variants x benchmarks x seeds sweep"
+    )
+    sweep.add_argument(
+        "--variants", nargs="+", default=None, help="variant names (default: all seven)"
+    )
+    sweep.add_argument(
+        "--benchmarks", nargs="+", default=None, help="benchmark names (default: all eleven)"
+    )
+    sweep.add_argument(
+        "--seeds", nargs="+", type=int, default=None, help="seeds (default: one, the sweep seed)"
+    )
+    _add_common_arguments(sweep)
+    sweep.set_defaults(handler=_command_sweep)
+
+    listing = subparsers.add_parser("list", help="list figures, variants, benchmarks")
+    listing.set_defaults(handler=_command_list)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point (``repro-bench`` / ``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke sweep
+    sys.exit(main())

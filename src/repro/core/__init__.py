@@ -12,6 +12,11 @@ This package layers the MI6 mechanisms on top of the RiscyOO substrate:
   (BASE, FLUSH, PART, MISS, ARB, NONSPEC, F+P+M+A);
 * :mod:`repro.core.processor` — :class:`MI6Processor`, the single-core
   evaluation vehicle that runs synthetic workloads under a chosen variant;
+* :mod:`repro.core.simulator` — :class:`Simulator`, the facade that
+  decouples machine assembly from workload execution (what the
+  experiment engine and all entry points build machines through);
+* :mod:`repro.core.serialization` — stable dict/JSON round-trips for
+  configurations and results, plus the content-hash cache keys;
 * :mod:`repro.core.isolation` — checkers used by tests and examples to
   demonstrate Property 1 (strong isolation).
 """
@@ -25,7 +30,21 @@ from repro.core.isolation import (
 from repro.core.processor import MI6Processor, WorkloadRun
 from repro.core.protection import ProtectionDomain, RegionBitvector
 from repro.core.purge import PurgeResult, PurgeUnit
-from repro.core.variants import Variant, config_for_variant, variant_description
+from repro.core.serialization import (
+    config_digest,
+    config_from_dict,
+    config_to_dict,
+    run_cache_key,
+    run_from_dict,
+    run_to_dict,
+)
+from repro.core.simulator import Simulator
+from repro.core.variants import (
+    Variant,
+    config_for_variant,
+    parse_variant,
+    variant_description,
+)
 
 __all__ = [
     "MI6Config",
@@ -34,10 +53,18 @@ __all__ = [
     "PurgeResult",
     "PurgeUnit",
     "RegionBitvector",
+    "Simulator",
     "Variant",
     "WorkloadRun",
+    "config_digest",
     "config_for_variant",
+    "config_from_dict",
+    "config_to_dict",
     "llc_sets_disjoint",
+    "parse_variant",
+    "run_cache_key",
+    "run_from_dict",
+    "run_to_dict",
     "timing_independence_report",
     "variant_description",
     "verify_purged_state",

@@ -1,0 +1,172 @@
+"""Stable dict/JSON round-trips for configurations and run results.
+
+The experiment engine (:mod:`repro.analysis.engine`) and the persistent
+result store (:mod:`repro.analysis.store`) need two things from the core
+layer:
+
+* a canonical, content-addressed identity for a simulation — the cache
+  key of a run is a SHA-256 digest over the *full* machine configuration
+  plus the workload parameters, so any configuration change (not just the
+  variant name) invalidates cached results;
+* a lossless serialisation of :class:`~repro.core.processor.WorkloadRun`
+  so results survive process boundaries (the parallel runner's worker
+  processes) and process exits (the on-disk store).
+
+Everything here is plain dicts of JSON-compatible scalars; enums are
+encoded by name.  ``SCHEMA_VERSION`` is folded into every digest so a
+format change cleanly orphans old cache entries instead of misreading
+them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any, Dict
+
+from repro.common.stats import StatsRegistry
+from repro.core.config import MI6Config
+from repro.core.processor import WorkloadRun
+from repro.mem.address import AddressMap, CacheGeometry, IndexFunction
+from repro.mem.dram import DramConfig
+from repro.mem.llc import LlcConfig
+from repro.mem.mshr import MshrConfig
+from repro.ooo.core import CoreConfig, CoreResult
+
+#: Version of the serialised formats below.  Bump on any incompatible
+#: change; the digest namespace includes it, so old on-disk entries are
+#: simply never looked up again.
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Configurations
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Enum):
+        return value.name
+    if is_dataclass(value):
+        return {f.name: _encode_value(getattr(value, f.name)) for f in fields(value)}
+    return value
+
+
+def config_to_dict(config: MI6Config) -> Dict[str, Any]:
+    """Encode a full machine configuration as a JSON-compatible dict."""
+    return _encode_value(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> MI6Config:
+    """Rebuild an :class:`MI6Config` from :func:`config_to_dict` output."""
+    payload = dict(data)
+    llc = dict(payload["llc"])
+    llc["geometry"] = CacheGeometry(**llc["geometry"])
+    llc["mshr"] = MshrConfig(**llc["mshr"])
+    llc["index_function"] = IndexFunction[llc["index_function"]]
+    payload["address_map"] = AddressMap(**payload["address_map"])
+    payload["core"] = CoreConfig(**payload["core"])
+    payload["llc"] = LlcConfig(**llc)
+    payload["dram"] = DramConfig(**payload["dram"])
+    return MI6Config(**payload)
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: Any) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def config_digest(config: MI6Config) -> str:
+    """Content hash identifying a machine configuration."""
+    return _digest({"schema": SCHEMA_VERSION, "config": config_to_dict(config)})
+
+
+def run_cache_key(
+    config: MI6Config,
+    benchmark: str,
+    instructions: int,
+    seed: int,
+    *,
+    warm_up: bool = True,
+) -> str:
+    """Canonical cache key for one simulation run.
+
+    The key is a content hash over the complete configuration and every
+    workload parameter, replacing the old ad-hoc ``(variant, benchmark,
+    instructions, seed)`` tuple: two runs share a key if and only if they
+    would execute the identical simulation.
+    """
+    return _digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "config": config_to_dict(config),
+            "benchmark": benchmark,
+            "instructions": instructions,
+            "seed": seed,
+            "warm_up": warm_up,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+
+
+def result_to_dict(result: CoreResult) -> Dict[str, Any]:
+    """Encode a :class:`CoreResult` (cycles, counters, histograms)."""
+    histograms = {}
+    for name, histogram in sorted(result.stats.histograms().items()):
+        histograms[name] = {
+            "buckets": {str(value): count for value, count in sorted(histogram.buckets.items())},
+            "total_samples": histogram.total_samples,
+            "total_value": histogram.total_value,
+        }
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "counters": dict(result.stats.counters()),
+        "histograms": histograms,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> CoreResult:
+    """Rebuild a :class:`CoreResult` from :func:`result_to_dict` output."""
+    registry = StatsRegistry()
+    for name, value in data.get("counters", {}).items():
+        registry.counter(name).increment(value)
+    for name, histogram_data in data.get("histograms", {}).items():
+        histogram = registry.histogram(name)
+        histogram.buckets = {
+            int(value): count for value, count in histogram_data["buckets"].items()
+        }
+        histogram.total_samples = histogram_data["total_samples"]
+        histogram.total_value = histogram_data["total_value"]
+    return CoreResult(
+        cycles=data["cycles"], instructions=data["instructions"], stats=registry
+    )
+
+
+def run_to_dict(run: WorkloadRun) -> Dict[str, Any]:
+    """Encode a :class:`WorkloadRun` as a JSON-compatible dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": run.benchmark,
+        "config_name": run.config_name,
+        "instructions": run.instructions,
+        "result": result_to_dict(run.result),
+    }
+
+
+def run_from_dict(data: Dict[str, Any]) -> WorkloadRun:
+    """Rebuild a :class:`WorkloadRun` from :func:`run_to_dict` output."""
+    return WorkloadRun(
+        benchmark=data["benchmark"],
+        config_name=data["config_name"],
+        instructions=data["instructions"],
+        result=result_from_dict(data["result"]),
+    )

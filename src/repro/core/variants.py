@@ -75,6 +75,20 @@ def all_variants() -> List[Variant]:
     ]
 
 
+def parse_variant(text: str) -> Variant:
+    """Parse a variant from user input (CLI flags, config files).
+
+    Accepts the enum name (``F_P_M_A``), the paper spelling
+    (``F+P+M+A``), or either in any case.
+    """
+    normalized = text.strip().upper()
+    for variant in Variant:
+        if normalized in (variant.name, variant.value.upper()):
+            return variant
+    valid = ", ".join(variant.value for variant in Variant)
+    raise ValueError(f"unknown variant {text!r} (expected one of: {valid})")
+
+
 def config_for_variant(variant: Variant, base: MI6Config | None = None) -> MI6Config:
     """Build the machine configuration for an evaluation variant.
 

@@ -42,9 +42,32 @@ class TestHarness:
             (series["hmmer"] + series["libquantum"]) / 2
         )
 
+    def test_run_figure_series_is_insertion_ordered(self):
+        series = run_figure_series(
+            Variant.ARB, runtime_overhead_metric, SMALL, benchmarks=["libquantum", "hmmer"]
+        )
+        assert list(series) == ["libquantum", "hmmer", "average"]
+
+    def test_run_figure_series_rejects_reserved_benchmark_name(self):
+        with pytest.raises(ValueError, match="average"):
+            run_figure_series(
+                Variant.ARB, runtime_overhead_metric, SMALL, benchmarks=["hmmer", "average"]
+            )
+
+    def test_run_figure_series_rejects_empty_benchmark_list(self):
+        with pytest.raises(ValueError, match="empty"):
+            run_figure_series(Variant.ARB, runtime_overhead_metric, SMALL, benchmarks=[])
+
     def test_settings_from_environment(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "1234")
         assert EvaluationSettings.from_environment().instructions == 1234
+
+    def test_settings_seed_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEED", "42")
+        settings = EvaluationSettings.from_environment()
+        assert settings.seed == 42
+        monkeypatch.delenv("REPRO_BENCH_SEED")
+        assert EvaluationSettings.from_environment().seed == 2019
 
 
 class TestReport:

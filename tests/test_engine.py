@@ -1,0 +1,236 @@
+"""Tests for the experiment engine, serialization, and result store."""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    EvaluationSettings,
+    ExperimentSpec,
+    ParallelRunner,
+    RunRequest,
+    execute_request,
+    request_for,
+)
+from repro.analysis.store import ResultStore
+from repro.core.config import MI6Config
+from repro.core.processor import MI6Processor
+from repro.core.serialization import (
+    config_digest,
+    config_from_dict,
+    config_to_dict,
+    run_from_dict,
+    run_to_dict,
+)
+from repro.core.simulator import Simulator
+from repro.core.variants import Variant, all_variants, config_for_variant, parse_variant
+
+SMALL = EvaluationSettings(instructions=2500)
+
+
+def runs_equal(first, second) -> bool:
+    """Bit-identical comparison of two workload runs."""
+    return run_to_dict(first) == run_to_dict(second)
+
+
+class TestSerialization:
+    def test_config_round_trips_for_every_variant(self):
+        for variant in all_variants():
+            config = config_for_variant(variant)
+            assert config_from_dict(config_to_dict(config)) == config
+
+    def test_config_dict_is_json_compatible(self):
+        encoded = json.dumps(config_to_dict(config_for_variant(Variant.F_P_M_A)))
+        assert config_from_dict(json.loads(encoded)) == config_for_variant(Variant.F_P_M_A)
+
+    def test_digest_is_stable_and_content_sensitive(self):
+        first = config_for_variant(Variant.PART)
+        second = config_for_variant(Variant.PART)
+        assert config_digest(first) == config_digest(second)
+        digests = {config_digest(config_for_variant(v)) for v in all_variants()}
+        assert len(digests) == len(all_variants())
+        tweaked = MI6Config(trap_interval_instructions=12_345)
+        assert config_digest(tweaked) != config_digest(MI6Config())
+
+    def test_run_round_trips_through_json(self):
+        run = Simulator.for_variant(Variant.FLUSH).run("hmmer", instructions=2000)
+        restored = run_from_dict(json.loads(json.dumps(run_to_dict(run))))
+        assert restored.benchmark == run.benchmark
+        assert restored.config_name == run.config_name
+        assert restored.cycles == run.cycles
+        assert restored.instructions == run.instructions
+        assert dict(restored.result.stats.counters()) == dict(run.result.stats.counters())
+        assert restored.result.branch_mpki == run.result.branch_mpki
+        assert restored.result.flush_stall_cycles == run.result.flush_stall_cycles
+
+    def test_settings_round_trip_and_environment(self, monkeypatch):
+        settings = EvaluationSettings(instructions=4000, seed=7)
+        assert EvaluationSettings.from_dict(settings.to_dict()) == settings
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "1234")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "99")
+        from_env = EvaluationSettings.from_environment()
+        assert from_env.instructions == 1234
+        assert from_env.seed == 99
+
+    def test_parse_variant_accepts_both_spellings(self):
+        assert parse_variant("F+P+M+A") is Variant.F_P_M_A
+        assert parse_variant("f_p_m_a") is Variant.F_P_M_A
+        assert parse_variant("base") is Variant.BASE
+        with pytest.raises(ValueError):
+            parse_variant("TURBO")
+
+
+class TestSimulator:
+    def test_matches_direct_processor_construction(self):
+        config = config_for_variant(Variant.ARB)
+        direct = MI6Processor(config, seed=2019).run_workload("gcc", instructions=2500)
+        via_facade = Simulator(config, seed=2019).run("gcc", instructions=2500)
+        assert runs_equal(direct, via_facade)
+
+    def test_fresh_machine_runs_are_order_independent(self):
+        simulator = Simulator.for_variant(Variant.BASE)
+        first = simulator.run("hmmer", instructions=2000)
+        simulator.run("mcf", instructions=2000)
+        again = simulator.run("hmmer", instructions=2000)
+        assert runs_equal(first, again)
+
+
+class TestResultStore:
+    def test_disk_round_trip(self, tmp_path):
+        request = request_for(Variant.BASE, "hmmer", SMALL)
+        run = execute_request(request)
+        store = ResultStore(tmp_path / "cache")
+        store.put(request.cache_key(), run)
+
+        fresh = ResultStore(tmp_path / "cache")
+        restored = fresh.get(request.cache_key())
+        assert restored is not None
+        assert fresh.disk_hits == 1
+        assert runs_equal(restored, run)
+        # Second lookup is served from the memory layer.
+        assert fresh.get(request.cache_key()) is restored
+        assert fresh.memory_hits == 1
+
+    def test_invalidates_on_config_change(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        request = request_for(Variant.BASE, "hmmer", SMALL)
+        store.put(request.cache_key(), execute_request(request))
+
+        changed = RunRequest(
+            config=MI6Config(trap_interval_instructions=9_999),
+            benchmark="hmmer",
+            instructions=SMALL.instructions,
+            seed=SMALL.seed,
+        )
+        assert changed.cache_key() != request.cache_key()
+        assert ResultStore(tmp_path / "cache").get(changed.cache_key()) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        request = request_for(Variant.BASE, "hmmer", SMALL)
+        key = request.cache_key()
+        store.put(key, execute_request(request))
+        path = store._path_for(key)
+        path.write_text("{not json")
+        assert ResultStore(tmp_path / "cache").get(key) is None
+        assert not path.exists()  # corrupt entry dropped
+
+    def test_memory_only_store_never_touches_disk(self):
+        store = ResultStore.in_memory()
+        request = request_for(Variant.BASE, "hmmer", SMALL)
+        run = execute_request(request)
+        store.put(request.cache_key(), run)
+        assert store.get(request.cache_key()) is run
+        assert store.directory is None
+
+
+class TestParallelRunner:
+    SPEC = ExperimentSpec(
+        variants=(Variant.BASE, Variant.ARB, Variant.NONSPEC),
+        benchmarks=("hmmer", "libquantum"),
+        instructions=2500,
+    )
+
+    def test_serial_and_parallel_sweeps_are_bit_identical(self):
+        serial = ParallelRunner(ResultStore.in_memory(), jobs=1).run_spec(self.SPEC)
+        parallel = ParallelRunner(ResultStore.in_memory(), jobs=2).run_spec(self.SPEC)
+        assert len(serial.runs) == self.SPEC.size
+        for serial_run, parallel_run in zip(serial.runs, parallel.runs):
+            assert runs_equal(serial_run, parallel_run)
+
+    def test_warm_start_from_disk(self, tmp_path):
+        cold = ParallelRunner(ResultStore(tmp_path / "cache"), jobs=2)
+        cold_result = cold.run_spec(self.SPEC)
+        assert cold.executed_runs == self.SPEC.size
+        assert cold.warm_runs == 0
+
+        warm = ParallelRunner(ResultStore(tmp_path / "cache"), jobs=2)
+        warm_result = warm.run_spec(self.SPEC)
+        assert warm.executed_runs == 0
+        assert warm.warm_runs == self.SPEC.size
+        for cold_run, warm_run in zip(cold_result.runs, warm_result.runs):
+            assert runs_equal(cold_run, warm_run)
+
+    def test_duplicate_requests_simulate_once(self):
+        runner = ParallelRunner(ResultStore.in_memory())
+        request = request_for(Variant.BASE, "hmmer", SMALL)
+        first, second = runner.run([request, request])
+        assert first is second
+        assert runner.executed_runs == 1
+        # Store counters see one miss (one simulation), not one per position.
+        assert runner.store.misses == 1
+
+    def test_nonspec_truncation_preserved(self):
+        requests = {
+            request.config.name: request for request in self.SPEC.requests()
+        }
+        # NONSPEC runs max(2000, instructions // 2) = 2000 for this spec.
+        assert requests["NONSPEC"].instructions == 2000
+        assert requests["BASE"].instructions == 2500
+
+    def test_experiment_result_indexing(self):
+        result = ParallelRunner(ResultStore.in_memory()).run_spec(self.SPEC)
+        run = result.run_for(Variant.ARB, "libquantum")
+        assert run.config_name == "ARB"
+        assert run.benchmark == "libquantum"
+        assert result.overhead_percent(Variant.ARB, "libquantum") > 0
+        # NONSPEC committed fewer instructions: CPI-based comparison.
+        assert result.overhead_percent(Variant.NONSPEC, "hmmer") != 0
+
+
+class TestSpec:
+    def test_create_defaults_to_full_grid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_INSTRUCTIONS", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+        spec = ExperimentSpec.create()
+        assert len(spec.variants) == 7
+        assert len(spec.benchmarks) == 11
+        assert spec.seeds == (2019,)
+        assert spec.size == 77
+
+    def test_create_rejects_explicitly_empty_selections(self):
+        with pytest.raises(ValueError, match="variants"):
+            ExperimentSpec.create(variants=[])
+        with pytest.raises(ValueError, match="benchmarks"):
+            ExperimentSpec.create(benchmarks=[])
+        with pytest.raises(ValueError, match="seeds"):
+            ExperimentSpec.create(seeds=[])
+
+    def test_requests_expand_in_deterministic_order(self):
+        spec = ExperimentSpec(
+            variants=(Variant.BASE, Variant.ARB),
+            benchmarks=("gcc", "mcf"),
+            seeds=(1, 2),
+            instructions=2500,
+        )
+        cells = [(r.config.name, r.benchmark, r.seed) for r in spec.requests()]
+        assert cells == [
+            ("BASE", "gcc", 1),
+            ("BASE", "gcc", 2),
+            ("BASE", "mcf", 1),
+            ("BASE", "mcf", 2),
+            ("ARB", "gcc", 1),
+            ("ARB", "gcc", 2),
+            ("ARB", "mcf", 1),
+            ("ARB", "mcf", 2),
+        ]
