@@ -12,6 +12,9 @@ layer that executes such sweeps:
   :func:`repro.core.serialization.run_cache_key`;
 * :class:`ExperimentSpec` — a cartesian sweep of
   variants × benchmarks × seeds expanded into run requests;
+* :class:`ScenarioRequest` / :class:`ScenarioSpec` — the same machinery
+  for the co-scheduled security scenarios of
+  :mod:`repro.attacks.scenarios` (scenarios × variants × seeds);
 * :class:`ParallelRunner` — executes requests, serving repeats from a
   :class:`~repro.analysis.store.ResultStore` and fanning cache misses out
   over a :class:`concurrent.futures.ProcessPoolExecutor`.
@@ -28,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.attacks.scenarios import ScenarioOutcome, run_scenario, scenario_names
 from repro.core.config import MI6Config
 from repro.core.processor import WorkloadRun
 from repro.core.serialization import (
@@ -36,6 +40,7 @@ from repro.core.serialization import (
     run_cache_key,
     run_from_dict,
     run_to_dict,
+    scenario_cache_key,
 )
 from repro.core.simulator import DEFAULT_SEED, Simulator
 from repro.core.variants import Variant, all_variants, config_for_variant
@@ -190,6 +195,130 @@ def _pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Security scenarios
+
+#: Store document kind under which scenario outcomes persist.
+SCENARIO_STORE_KIND = "scenario"
+
+#: Variants the security evaluation compares by default: the insecure
+#: baseline against the full MI6 machine (the Section 6 comparison).
+DEFAULT_SCENARIO_VARIANTS = (Variant.BASE, Variant.F_P_M_A)
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """One fully specified security-scenario run.
+
+    Like :class:`RunRequest`, a scenario request carries the complete
+    machine configuration, so its content-hash identity reflects every
+    parameter that affects the outcome.
+    """
+
+    scenario: str
+    config: MI6Config
+    seed: int = DEFAULT_SEED
+
+    def cache_key(self) -> str:
+        """Content-hash identity of this scenario run (the store key)."""
+        return scenario_cache_key(self.scenario, self.config, self.seed)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible encoding shipped to worker processes."""
+        return {
+            "scenario": self.scenario,
+            "config": config_to_dict(self.config),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ScenarioRequest":
+        """Rebuild a request from :meth:`to_payload` output."""
+        return cls(
+            scenario=payload["scenario"],
+            config=config_from_dict(payload["config"]),
+            seed=payload["seed"],
+        )
+
+
+def execute_scenario_request(request: ScenarioRequest) -> ScenarioOutcome:
+    """Run one scenario on a fresh machine (the only place scenarios run)."""
+    return run_scenario(request.scenario, request.config, request.seed)
+
+
+def _scenario_pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point for scenarios: dicts in, dicts out."""
+    return execute_scenario_request(ScenarioRequest.from_payload(payload)).to_dict()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A security sweep: scenarios × variants × seeds.
+
+    Requests are expanded in deterministic insertion order (scenarios
+    outermost, seeds innermost), mirroring :class:`ExperimentSpec`.
+    """
+
+    scenarios: Tuple[str, ...]
+    variants: Tuple[Variant, ...] = DEFAULT_SCENARIO_VARIANTS
+    seeds: Tuple[int, ...] = (DEFAULT_SEED,)
+
+    @classmethod
+    def create(
+        cls,
+        scenarios: Optional[Sequence[str]] = None,
+        variants: Optional[Sequence[Variant]] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> "ScenarioSpec":
+        """Spec with security-evaluation defaults for anything omitted.
+
+        Defaults (for ``None`` arguments): every registered scenario,
+        the BASE-vs-F+P+M+A variant pair, and the environment-controlled
+        seed.  Explicitly empty sequences are rejected, and scenario
+        names are validated against the registry here rather than at run
+        time.
+        """
+        for name, value in (
+            ("scenarios", scenarios),
+            ("variants", variants),
+            ("seeds", seeds),
+        ):
+            if value is not None and len(value) == 0:
+                raise ValueError(f"{name} must not be empty (pass None for the default)")
+        known = scenario_names()
+        if scenarios is not None:
+            unknown = [name for name in scenarios if name not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown scenario(s): {', '.join(unknown)} "
+                    f"(expected: {', '.join(known)})"
+                )
+        settings = EvaluationSettings.from_environment()
+        return cls(
+            scenarios=tuple(scenarios) if scenarios is not None else tuple(known),
+            variants=(
+                tuple(variants) if variants is not None else DEFAULT_SCENARIO_VARIANTS
+            ),
+            seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of scenario runs in the sweep."""
+        return len(self.scenarios) * len(self.variants) * len(self.seeds)
+
+    def requests(self) -> List[ScenarioRequest]:
+        """Expand the sweep into scenario requests (deterministic order)."""
+        return [
+            ScenarioRequest(
+                scenario=scenario, config=config_for_variant(variant), seed=seed
+            )
+            for scenario in self.scenarios
+            for variant in self.variants
+            for seed in self.seeds
+        ]
+
+
+# ----------------------------------------------------------------------
 # Sweeps
 
 
@@ -318,19 +447,34 @@ class ParallelRunner:
         self.executed_runs = 0
         self.warm_runs = 0
 
-    def run(self, requests: Sequence[RunRequest]) -> List[WorkloadRun]:
-        """Execute requests, returning runs in request order."""
+    def _execute_through_store(
+        self,
+        requests: Sequence[Any],
+        *,
+        lookup: Any,
+        persist: Any,
+        execute: Any,
+        pool_worker: Any,
+        decode: Any,
+    ) -> List[Any]:
+        """Shared request-execution machinery for runs and scenarios.
+
+        Deduplicates by content key *before* the store lookup (so the
+        store's hit/miss counters reflect simulations, not positions),
+        serves warm keys through ``lookup``, and fans the rest out over
+        the process pool — ``pool_worker`` must be a module-level
+        function taking the request's ``to_payload()`` dict and
+        returning an encoded result for ``decode``.
+        """
         requests = list(requests)
-        results: List[Optional[WorkloadRun]] = [None] * len(requests)
-        # Deduplicate by content key *before* the store lookup, so the
-        # store's hit/miss counters reflect simulations, not positions.
+        results: List[Any] = [None] * len(requests)
         by_key: Dict[str, List[int]] = {}
         pending: Dict[str, List[int]] = {}
-        pending_requests: Dict[str, RunRequest] = {}
+        pending_requests: Dict[str, Any] = {}
         for position, request in enumerate(requests):
             by_key.setdefault(request.cache_key(), []).append(position)
         for key, positions in by_key.items():
-            cached = self.store.get(key)
+            cached = lookup(key)
             if cached is not None:
                 for position in positions:
                     results[position] = cached
@@ -341,22 +485,33 @@ class ParallelRunner:
         if pending:
             keys = list(pending)
             if self.jobs == 1 or len(keys) == 1:
-                produced = [execute_request(pending_requests[key]) for key in keys]
+                produced = [execute(pending_requests[key]) for key in keys]
             else:
                 payloads = [pending_requests[key].to_payload() for key in keys]
                 with ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(keys))
                 ) as pool:
                     produced = [
-                        run_from_dict(encoded)
-                        for encoded in pool.map(_pool_worker, payloads)
+                        decode(encoded)
+                        for encoded in pool.map(pool_worker, payloads)
                     ]
-            for key, run in zip(keys, produced):
-                self.store.put(key, run)
+            for key, result in zip(keys, produced):
+                persist(key, result)
                 self.executed_runs += 1
                 for position in pending[key]:
-                    results[position] = run
-        return results  # type: ignore[return-value]
+                    results[position] = result
+        return results
+
+    def run(self, requests: Sequence[RunRequest]) -> List[WorkloadRun]:
+        """Execute requests, returning runs in request order."""
+        return self._execute_through_store(
+            requests,
+            lookup=self.store.get,
+            persist=self.store.put,
+            execute=execute_request,
+            pool_worker=_pool_worker,
+            decode=run_from_dict,
+        )
 
     def run_one(self, request: RunRequest) -> WorkloadRun:
         """Execute (or fetch) a single request."""
@@ -366,3 +521,39 @@ class ParallelRunner:
         """Execute a full sweep and return its indexed results."""
         requests = spec.requests()
         return ExperimentResult(spec=spec, requests=requests, runs=self.run(requests))
+
+    # ------------------------------------------------------------------
+    # Security scenarios
+
+    def run_scenarios(
+        self, requests: Sequence[ScenarioRequest]
+    ) -> List[ScenarioOutcome]:
+        """Execute scenario requests, returning outcomes in request order.
+
+        Mirrors :meth:`run`: outcomes are served from the store's
+        document layer when warm and fanned out over the process pool on
+        cache misses, with identical results either way.
+        """
+
+        def lookup(key: str) -> Optional[ScenarioOutcome]:
+            payload = self.store.get_payload(SCENARIO_STORE_KIND, key)
+            return ScenarioOutcome.from_dict(payload) if payload is not None else None
+
+        def persist(key: str, outcome: ScenarioOutcome) -> None:
+            self.store.put_payload(SCENARIO_STORE_KIND, key, outcome.to_dict())
+
+        return self._execute_through_store(
+            requests,
+            lookup=lookup,
+            persist=persist,
+            execute=execute_scenario_request,
+            pool_worker=_scenario_pool_worker,
+            decode=ScenarioOutcome.from_dict,
+        )
+
+    def run_scenario_spec(
+        self, spec: ScenarioSpec
+    ) -> List[Tuple[ScenarioRequest, ScenarioOutcome]]:
+        """Execute a full security sweep, pairing requests with outcomes."""
+        requests = spec.requests()
+        return list(zip(requests, self.run_scenarios(requests)))

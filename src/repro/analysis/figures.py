@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.analysis.engine import ParallelRunner, ScenarioSpec, default_jobs
 from repro.analysis.harness import (
     EvaluationSettings,
     branch_mpki_metric,
+    default_store,
     flush_stall_metric,
     llc_mpki_metric,
     run_figure_series,
@@ -148,3 +150,60 @@ def figure13_overall_overhead(
     """Figure 13: F+P+M+A (enclave steady-state) overhead vs BASE."""
     measured = run_figure_series(Variant.F_P_M_A, runtime_overhead_metric, settings, jobs=jobs, store=store)
     return "Figure 13: F+P+M+A runtime overhead (%)", measured, _paper_series("overall_overhead_pct")
+
+
+#: Title of the security evaluation's leakage table.
+SECURITY_TABLE_TITLE = "Security scenarios: leaked bits (recovered/at stake)"
+
+
+def aggregate_leakage_rows(pairs) -> Dict[str, Dict[str, str]]:
+    """Fold ``(ScenarioRequest, ScenarioOutcome)`` pairs into table rows.
+
+    Leaked/total bit counts are summed over seeds per (scenario,
+    variant) cell; the result maps scenario name -> variant name ->
+    ``"leaked/total"``.  Used by :func:`security_leakage_table` and by
+    the CLI, which already holds the pairs from its own sweep.
+    """
+    tallies: Dict[str, Dict[str, list]] = {}
+    for request, outcome in pairs:
+        cell = tallies.setdefault(request.scenario, {}).setdefault(
+            request.config.name, [0, 0]
+        )
+        cell[0] += outcome.leaked_bits
+        cell[1] += outcome.total_bits
+    return {
+        scenario: {
+            variant: f"{leaked}/{total}" for variant, (leaked, total) in cells.items()
+        }
+        for scenario, cells in tallies.items()
+    }
+
+
+def security_leakage_table(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    scenarios: Optional[Tuple[str, ...]] = None,
+    variants: Optional[Tuple[Variant, ...]] = None,
+    seeds: Optional[Tuple[int, ...]] = None,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> Tuple[str, Dict[str, Dict[str, str]]]:
+    """Section 6 security evaluation: leaked bits per scenario × variant.
+
+    Runs every co-scheduled attack scenario on every requested variant
+    (BASE vs F+P+M+A by default) through the experiment engine — warm
+    results come from the store — and aggregates leaked/total bit counts
+    over the seeds.  Returns ``(title, rows)`` as consumed by
+    :func:`repro.analysis.report.format_security_table`.
+    """
+    settings = settings or EvaluationSettings.from_environment()
+    spec = ScenarioSpec.create(
+        scenarios=scenarios,
+        variants=variants,
+        seeds=seeds if seeds is not None else (settings.seed,),
+    )
+    runner = ParallelRunner(
+        store if store is not None else default_store(),
+        jobs=jobs if jobs is not None else default_jobs(),
+    )
+    return SECURITY_TABLE_TITLE, aggregate_leakage_rows(runner.run_scenario_spec(spec))

@@ -102,16 +102,16 @@ def overhead_percent(
     *,
     store: Optional[ResultStore] = None,
 ) -> float:
-    """Increased runtime of ``variant`` over BASE for one benchmark (%)."""
+    """Increased runtime of ``variant`` over BASE for one benchmark (%).
+
+    Delegates to :func:`runtime_overhead_metric`, which falls back to a
+    per-instruction (CPI) comparison when the runs committed different
+    instruction counts (the NONSPEC truncation).
+    """
     settings = settings or EvaluationSettings.from_environment()
     base = cached_run(Variant.BASE, benchmark, settings, store=store)
     secured = cached_run(variant, benchmark, settings, store=store)
-    # NONSPEC runs fewer instructions; compare per-instruction cost.
-    if secured.instructions != base.instructions:
-        base_cpi = base.result.cpi
-        secured_cpi = secured.result.cpi
-        return 100.0 * (secured_cpi - base_cpi) / base_cpi if base_cpi else 0.0
-    return secured.overhead_vs(base)
+    return runtime_overhead_metric(base, secured)
 
 
 def run_figure_series(

@@ -43,6 +43,29 @@ def format_series_table(
     return "\n".join(lines)
 
 
+def format_security_table(title: str, rows: Mapping[str, Mapping[str, str]]) -> str:
+    """Render the security evaluation's scenario × variant leakage grid.
+
+    ``rows`` maps scenario name -> variant name -> cell text (e.g.
+    ``"3/3"`` leaked-over-at-stake bits); variants become columns in
+    first-seen order.
+    """
+    variants: list = []
+    for cells in rows.values():
+        for variant in cells:
+            if variant not in variants:
+                variants.append(variant)
+    lines = [title, "-" * len(title)]
+    header = f"{'scenario':<16}" + "".join(f" {variant:>12}" for variant in variants)
+    lines.append(header)
+    for scenario, cells in rows.items():
+        row = f"{scenario:<16}"
+        for variant in variants:
+            row += f" {cells.get(variant, '-'):>12}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def format_comparison_table(rows: Dict[str, tuple], title: str = "") -> str:
     """Render rows of ``name -> (measured, paper)`` pairs."""
     lines = []

@@ -24,7 +24,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.processor import WorkloadRun
 from repro.core.serialization import SCHEMA_VERSION, run_from_dict, run_to_dict
@@ -52,6 +52,7 @@ class ResultStore:
     def __init__(self, directory: Union[str, Path, None] = DEFAULT_CACHE_DIR) -> None:
         self.directory = Path(directory) if directory is not None else None
         self._memory: Dict[str, WorkloadRun] = {}
+        self._payload_memory: Dict[Tuple[str, str], Dict] = {}
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -109,8 +110,10 @@ class ResultStore:
         self._memory[key] = run
         if self.directory is None:
             return
+        self._write_json(self._path_for(key), {"key": key, "run": run_to_dict(run)})
+
+    def _write_json(self, path: Path, payload: Dict) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "run": run_to_dict(run)}
         # Atomic write: a crashed or concurrent writer never leaves a
         # half-written JSON file where a reader can see it.
         fd, temp_name = tempfile.mkstemp(
@@ -119,7 +122,7 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
-            os.replace(temp_name, self._path_for(key))
+            os.replace(temp_name, path)
         except BaseException:
             try:
                 os.unlink(temp_name)
@@ -128,17 +131,68 @@ class ResultStore:
             raise
 
     # ------------------------------------------------------------------
+    # Generic JSON documents (scenario outcomes, future result kinds)
+
+    def _payload_path(self, kind: str, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{kind}-v{SCHEMA_VERSION}-{key}.json"
+
+    def get_payload(self, kind: str, key: str) -> Optional[Dict]:
+        """Return the stored JSON document of ``kind`` for ``key``.
+
+        The document layer shares the two-layer policy (and hit/miss
+        counters) of the run layer but stores schemaless JSON dicts, so
+        new result kinds — security-scenario outcomes today — persist
+        through the same store without the run layer's
+        :class:`WorkloadRun` shape.
+        """
+        payload = self._payload_memory.get((kind, key))
+        if payload is not None:
+            self.memory_hits += 1
+            return payload
+        if self.directory is not None:
+            path = self._payload_path(kind, key)
+            try:
+                payload = json.loads(path.read_text())["payload"]
+            except FileNotFoundError:
+                payload = None
+            except (OSError, ValueError, KeyError, TypeError):
+                payload = None
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            if payload is not None:
+                self._payload_memory[(kind, key)] = payload
+                self.disk_hits += 1
+                return payload
+        self.misses += 1
+        return None
+
+    def put_payload(self, kind: str, key: str, payload: Dict) -> None:
+        """Store a JSON document of ``kind`` under ``key``."""
+        self._payload_memory[(kind, key)] = payload
+        if self.directory is None:
+            return
+        self._write_json(
+            self._payload_path(kind, key), {"kind": kind, "key": key, "payload": payload}
+        )
+
+    # ------------------------------------------------------------------
     # Maintenance
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
         self._memory.clear()
+        self._payload_memory.clear()
 
     def clear_disk(self) -> None:
         """Delete every on-disk entry this store format owns."""
         if self.directory is None or not self.directory.is_dir():
             return
-        for path in self.directory.glob(f"run-v{SCHEMA_VERSION}-*.json"):
+        for path in self.directory.glob(f"*-v{SCHEMA_VERSION}-*.json"):
+            if path.name.startswith("."):
+                continue  # in-flight temp files from _write_json
             try:
                 path.unlink()
             except OSError:

@@ -12,13 +12,27 @@ from repro.attacks.contention import (
     arbiter_contention_channel,
     mshr_contention_channel,
 )
+from repro.attacks.coschedule import CoScheduledExecutor, CompletedAccess, MemOp
 from repro.attacks.prime_probe import PrimeProbeAttack
+from repro.attacks.scenarios import (
+    ScenarioOutcome,
+    run_scenario,
+    scenario_description,
+    scenario_names,
+)
 from repro.attacks.spectre import SpectreGadgetExperiment
 
 __all__ = [
     "BranchResidueAttack",
+    "CoScheduledExecutor",
+    "CompletedAccess",
+    "MemOp",
     "PrimeProbeAttack",
+    "ScenarioOutcome",
     "SpectreGadgetExperiment",
     "arbiter_contention_channel",
     "mshr_contention_channel",
+    "run_scenario",
+    "scenario_description",
+    "scenario_names",
 ]

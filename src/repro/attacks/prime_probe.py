@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Set
 
+from repro.attacks.addressing import addresses_for_set, distinct_sets
 from repro.common.rng import DeterministicRng
 from repro.mem.address import AddressMap, CacheGeometry, IndexFunction
 from repro.mem.dram import DramController
@@ -73,27 +74,27 @@ class PrimeProbeAttack:
 
     def _addresses_for_set(self, region: int, target_set: int, count: int) -> List[int]:
         """Addresses within ``region`` that map to ``target_set``."""
-        base = self.address_map.region_base(region)
-        addresses: List[int] = []
-        candidate = base
-        limit = base + min(self.address_map.region_bytes, 8 * 1024 * 1024)
-        while len(addresses) < count and candidate < limit:
-            if self.llc.set_index(candidate) == target_set:
-                addresses.append(candidate)
-            candidate += 64
-        return addresses
+        return addresses_for_set(
+            self.llc, self.address_map.region_base(region), target_set, count
+        )
 
     def _monitored_sets(self, count: int) -> List[int]:
-        """The first ``count`` distinct LLC sets the attacker can occupy."""
-        base = self.address_map.region_base(self.attacker_region)
-        sets: List[int] = []
-        candidate = base
-        while len(sets) < count:
-            set_index = self.llc.set_index(candidate)
-            if set_index not in sets:
-                sets.append(set_index)
-            candidate += 64
-        return sets
+        """The first ``count`` distinct LLC sets the attacker can occupy.
+
+        The scan is bounded to the attacker's own DRAM region (like
+        :meth:`_addresses_for_set`): under set partitioning the attacker
+        can only ever reach the sets its region maps to, so an unbounded
+        scan would walk into other parties' regions — monitoring sets the
+        attacker cannot legally occupy — or never terminate when fewer
+        than ``count`` distinct sets are reachable (the ``required``
+        shortfall raises instead).
+        """
+        return distinct_sets(
+            self.llc,
+            self.address_map.region_base(self.attacker_region),
+            count,
+            required=True,
+        )
 
     def run(self, victim_secret: int, *, monitored_sets: int = 8) -> PrimeProbeResult:
         """Run one round of prime / victim access / probe.

@@ -40,6 +40,15 @@ class SpectreResult:
         transmitted_set_observed: Whether the attacker's probe found the
             secret-dependent line in the shared cache.
         recovered_value: The value the attacker recovered (None if nothing).
+
+    Note:
+        The recovery phase is a *presence* probe: the attacker checks
+        which probe-array line is resident in the shared LLC.  This
+        models an idealised flush+reload receiver whose probe array
+        starts cold (flushed), so no priming accesses are issued — see
+        :meth:`SpectreGadgetExperiment.run`.  The co-scheduled scenario
+        port (:mod:`repro.attacks.scenarios`) additionally recovers the
+        value from measured probe *latencies*.
     """
 
     secret_nibble: int
@@ -83,9 +92,10 @@ class SpectreGadgetExperiment:
         secret_nibble &= 0xF
         enclave_secret_address = self.address_map.region_base(self.enclave_region) + 0x40
 
-        # The attacker primes its probe array (in its own region) so later
-        # probe timing is meaningful, then flushes knowledge of which line
-        # the gadget will touch by simply not touching them.
+        # The attacker's probe array (in its own region) starts cold: no
+        # priming accesses are issued, so a probe line is resident below
+        # if and only if the gadget's transmit touched it (the idealised
+        # flush+reload receiver documented on SpectreResult).
         probe_base = self.address_map.region_base(min(self.attacker_regions))
         probe_stride = 4096
 

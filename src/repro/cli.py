@@ -6,6 +6,8 @@ Examples::
     repro-bench figure all --instructions 10000
     repro-bench sweep --variants BASE F+P+M+A --benchmarks gcc mcf --jobs 4
     repro-bench sweep --seeds 2019 2020 2021 --benchmarks astar
+    repro-bench attack
+    repro-bench attack prime_probe contention --variants BASE PART --jobs 2
     repro-bench list
 
 Runs are served from the persistent result store (``.repro_cache/`` by
@@ -25,11 +27,13 @@ from repro.analysis.engine import (
     EvaluationSettings,
     ExperimentSpec,
     ParallelRunner,
+    ScenarioSpec,
     default_jobs,
 )
 from repro.analysis.harness import set_default_store
-from repro.analysis.report import format_series_table
+from repro.analysis.report import format_security_table, format_series_table
 from repro.analysis.store import DEFAULT_CACHE_DIR, ResultStore
+from repro.attacks.scenarios import scenario_description, scenario_names
 from repro.core.variants import Variant, all_variants, parse_variant
 from repro.workloads.spec_cint2006 import benchmark_names
 
@@ -117,8 +121,9 @@ def _build_store(args: argparse.Namespace) -> ResultStore:
 
 def _settings(args: argparse.Namespace) -> EvaluationSettings:
     settings = EvaluationSettings.from_environment()
-    if args.instructions is not None:
-        settings = EvaluationSettings(instructions=args.instructions, seed=settings.seed)
+    instructions = getattr(args, "instructions", None)
+    if instructions is not None:
+        settings = EvaluationSettings(instructions=instructions, seed=settings.seed)
     if args.seed is not None:
         settings = EvaluationSettings(instructions=settings.instructions, seed=args.seed)
     return settings
@@ -207,6 +212,62 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_attack(args: argparse.Namespace) -> int:
+    known = scenario_names()
+    if not args.scenarios or "all" in [name.lower() for name in args.scenarios]:
+        names = known
+    else:
+        names = args.scenarios
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            print(
+                f"unknown scenario(s): {', '.join(unknown)} "
+                f"(expected one of: {', '.join(known)}, or 'all')",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        variants = (
+            [parse_variant(text) for text in args.variants] if args.variants else None
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    store = _build_store(args)
+    settings = _settings(args)
+    spec = ScenarioSpec.create(
+        scenarios=names,
+        variants=variants,
+        seeds=args.seeds or [settings.seed],
+    )
+    runner = ParallelRunner(
+        store, jobs=args.jobs if args.jobs is not None else default_jobs()
+    )
+    paired = runner.run_scenario_spec(spec)
+
+    show_seed = len(spec.seeds) > 1
+    header = f"{'scenario':<16} {'variant':<10}"
+    if show_seed:
+        header += f" {'seed':>6}"
+    header += f" {'leaked':>8} {'at stake':>9} {'channel':>8}"
+    print(header)
+    print("-" * len(header))
+    for request, outcome in paired:
+        row = f"{request.scenario:<16} {request.config.name:<10}"
+        if show_seed:
+            row += f" {request.seed:>6}"
+        row += (
+            f" {outcome.leaked_bits:>8} {outcome.total_bits:>9}"
+            f" {'OPEN' if outcome.leaked else 'closed':>8}"
+        )
+        print(row)
+    print()
+    rows = figures.aggregate_leakage_rows(paired)
+    print(format_security_table(figures.SECURITY_TABLE_TITLE, rows))
+    _print_cache_summary(store)
+    return 0
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     print("figures:")
     for name in sorted(_figure_handlers()):
@@ -217,22 +278,30 @@ def _command_list(_args: argparse.Namespace) -> int:
     print("benchmarks:")
     for name in benchmark_names():
         print(f"  {name}")
+    print("scenarios:")
+    for name in scenario_names():
+        print(f"  {name:<16} {scenario_description(name)}")
     return 0
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_common_arguments(
+    parser: argparse.ArgumentParser, *, instructions: bool = True
+) -> None:
     parser.add_argument(
         "--jobs",
         type=int,
         default=None,
         help="worker processes for uncached runs (default 1)",
     )
-    parser.add_argument(
-        "--instructions",
-        type=int,
-        default=None,
-        help="instructions per run (default $REPRO_BENCH_INSTRUCTIONS or 30000)",
-    )
+    if instructions:
+        # Scenarios have no run length; the attack subcommand omits the
+        # flag entirely rather than accepting and ignoring it.
+        parser.add_argument(
+            "--instructions",
+            type=int,
+            default=None,
+            help="instructions per run (default $REPRO_BENCH_INSTRUCTIONS or 30000)",
+        )
     parser.add_argument(
         "--seed",
         type=int,
@@ -279,6 +348,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(sweep)
     sweep.set_defaults(handler=_command_sweep)
+
+    attack = subparsers.add_parser(
+        "attack",
+        help="run co-scheduled security scenarios (scenarios x variants x seeds)",
+    )
+    attack.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        help="scenario names (default: all registered scenarios)",
+    )
+    attack.add_argument(
+        "--variants",
+        nargs="+",
+        default=None,
+        help="variant names (default: BASE and F+P+M+A)",
+    )
+    attack.add_argument(
+        "--seeds", nargs="+", type=int, default=None, help="seeds (default: the sweep seed)"
+    )
+    _add_common_arguments(attack, instructions=False)
+    attack.set_defaults(handler=_command_attack)
 
     listing = subparsers.add_parser("list", help="list figures, variants, benchmarks")
     listing.set_defaults(handler=_command_list)

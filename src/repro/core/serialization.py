@@ -38,7 +38,10 @@ from repro.ooo.core import CoreConfig, CoreResult
 #: Version of the serialised formats below.  Bump on any incompatible
 #: change; the digest namespace includes it, so old on-disk entries are
 #: simply never looked up again.
-SCHEMA_VERSION = 1
+#: v2: the commit stage honours ``commit_width`` (it was hardcoded
+#: 2-wide), changing cycle counts for non-default-width configurations;
+#: pre-fix cache entries must not be served warm.
+SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -109,6 +112,25 @@ def run_cache_key(
             "instructions": instructions,
             "seed": seed,
             "warm_up": warm_up,
+        }
+    )
+
+
+def scenario_cache_key(scenario: str, config: MI6Config, seed: int) -> str:
+    """Canonical cache key for one security-scenario run.
+
+    Mirrors :func:`run_cache_key`: the digest covers the complete machine
+    configuration, so a scenario outcome cached for one variant can never
+    be returned for another.  The ``kind`` discriminator keeps scenario
+    keys disjoint from benchmark-run keys even for identical configs.
+    """
+    return _digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": "scenario",
+            "scenario": scenario,
+            "config": config_to_dict(config),
+            "seed": seed,
         }
     )
 

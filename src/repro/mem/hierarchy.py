@@ -212,6 +212,34 @@ class MemoryHierarchy:
             blocked_by_protection=access.blocked_by_protection,
         )
 
+    def llc_probe_access(self, physical_address: int, *, is_write: bool = False) -> HierarchyAccess:
+        """Access the shared LLC directly, bypassing the private L1.
+
+        This models the flush+access idiom attack code relies on (a
+        ``clflush``-ed or uncached load): the line is looked up in — and
+        on a miss installed into — the shared LLC without ever being
+        served from or allocated in the core's L1D, so the measured
+        latency reflects LLC state alone.  The DRAM-region protection
+        check still applies: MI6 suppresses disallowed probes exactly
+        like ordinary accesses (Section 5.3).
+        """
+        if not self._check_region(physical_address):
+            self._stats.counter("protection.blocked_accesses").increment()
+            return HierarchyAccess(latency=0, blocked_by_protection=True)
+        outcome = self.llc.access(
+            physical_address, is_write=is_write, core=self.core_id, owner=self.owner
+        )
+        return HierarchyAccess(
+            latency=self.l1d.hit_latency + outcome.latency,
+            physical_address=physical_address,
+            l1_hit=False,
+            llc_accessed=True,
+            llc_hit=outcome.hit,
+            llc_set=outcome.set_index,
+            llc_bank=outcome.bank,
+            llc_writeback=outcome.writeback,
+        )
+
     def fetch_access(self, virtual_address: int) -> HierarchyAccess:
         """Perform an instruction fetch (one cache line) through the I-side."""
         physical, extra, walk_accesses, fault = self._translate(virtual_address, self.itlb)

@@ -203,7 +203,10 @@ class OutOfOrderCore:
         fetch_floor = 0
         dispatch_floor = 0
         last_commit = 0
-        commit_two_back = 0
+        # Commit cycles of the most recent commit_width instructions: an
+        # instruction may not commit in the same cycle as the instruction
+        # commit_width older, bounding throughput to commit_width/cycle.
+        commit_window: deque = deque(maxlen=max(1, config.commit_width))
         committed = 0
         committed_since_trap = 0
 
@@ -310,9 +313,9 @@ class OutOfOrderCore:
 
             # ---------------- commit ----------------
             commit = max(complete, last_commit)
-            if commit <= commit_two_back:
-                commit = commit_two_back + 1
-            commit_two_back = last_commit
+            if len(commit_window) == commit_window.maxlen and commit <= commit_window[0]:
+                commit = commit_window[0] + 1
+            commit_window.append(commit)
             last_commit = commit
             commit_history.append(commit)
             if instruction.dst >= 0:

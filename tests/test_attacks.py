@@ -21,6 +21,30 @@ class TestPrimeProbe:
         assert not result.leaked
         assert not result.observed_sets
 
+    @pytest.mark.parametrize("set_partitioned", [False, True])
+    def test_monitored_sets_are_distinct_and_inside_the_attacker_region(
+        self, set_partitioned
+    ):
+        attack = PrimeProbeAttack(set_partitioned=set_partitioned)
+        sets = attack._monitored_sets(8)
+        assert len(sets) == 8
+        assert len(set(sets)) == 8
+        # Every monitored set must be reachable from the attacker's own
+        # region — the scan may not wander into other parties' memory.
+        for set_index in sets:
+            assert attack._addresses_for_set(attack.attacker_region, set_index, 1)
+
+    def test_monitored_sets_scan_terminates_under_set_partitioning(self):
+        # With 1024 sets and 6 region-index bits a region reaches only
+        # 1024 >> 6 = 16 distinct sets; asking for more must raise
+        # instead of scanning other regions or looping forever
+        # (regression: the scan used to be unbounded).
+        attack = PrimeProbeAttack(set_partitioned=True)
+        reachable = attack._monitored_sets(16)
+        assert len(set(reachable)) == 16
+        with pytest.raises(ValueError, match="distinct LLC sets"):
+            attack._monitored_sets(17)
+
 
 class TestSpectreGadget:
     @pytest.mark.parametrize("secret", [1, 7, 13])

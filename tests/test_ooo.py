@@ -186,3 +186,31 @@ class TestCoreTiming:
         stores = [store(vaddr=0x1000 + index * 4096 * 17) for index in range(300)]
         result = core.run(stores)
         assert result.cpi < 10.0
+
+
+class TestCommitWidth:
+    """The commit stage honours config.commit_width (regression: the old
+    model hardcoded 2-wide commit regardless of configuration)."""
+
+    COUNT = 120
+
+    def _cycles_for(self, commit_width):
+        # Wide enough fetch and execute that commit is the bottleneck.
+        config = CoreConfig(fetch_width=4, alu_units=4, commit_width=commit_width)
+        stream = [alu(dst=(index % 16) + 1) for index in range(self.COUNT)]
+        return build_core(config).run(stream).cycles
+
+    @pytest.mark.parametrize("commit_width", [1, 2, 4])
+    def test_commit_rate_never_exceeds_configured_width(self, commit_width):
+        assert self._cycles_for(commit_width) >= self.COUNT // commit_width
+
+    def test_narrower_commit_is_strictly_slower(self):
+        one_wide = self._cycles_for(1)
+        two_wide = self._cycles_for(2)
+        four_wide = self._cycles_for(4)
+        assert one_wide > two_wide > four_wide
+
+    def test_single_wide_commit_serialises_retirement(self):
+        # The old hardcoded 2-back window let a commit_width=1 core retire
+        # two instructions per cycle; the honoured width forbids that.
+        assert self._cycles_for(1) >= self.COUNT
