@@ -3,24 +3,34 @@
 The paper's 5.4% average assumes Linux-scale trap intervals; this sweep
 shows how the purge cost amortises as the interval grows, which is also
 how the scaled-down intervals used in this reproduction inflate Figure 5/6.
+Runs flow through the Session front door with explicit configurations
+(the trap interval steps outside the evaluation policy), so every cell is
+content-hashed into the persistent store and repeats are warm.
 """
 
+from repro.api import Session, WorkloadRequest
 from repro.core.config import MI6Config
-from repro.core.simulator import Simulator
-from repro.core.variants import Variant
+from repro.core.mitigations import config_for_spec
 
 
 def test_bench_ablation_flush_interval(benchmark):
+    session = Session()
+
+    def run(variant: str, interval: int):
+        scaled = MI6Config(trap_interval_instructions=interval)
+        return session.run(
+            WorkloadRequest(
+                config=config_for_spec(variant, scaled),
+                benchmark="astar",
+                instructions=20_000,
+            )
+        ).value
+
     def sweep():
         overheads = {}
         for interval in (2_500, 5_000, 10_000, 20_000):
-            scaled = MI6Config(trap_interval_instructions=interval)
-            base = Simulator.for_variant(Variant.BASE, scaled).run(
-                "astar", instructions=20_000
-            )
-            flush = Simulator.for_variant(Variant.FLUSH, scaled).run(
-                "astar", instructions=20_000
-            )
+            base = run("BASE", interval)
+            flush = run("FLUSH", interval)
             overheads[interval] = flush.overhead_vs(base)
         return overheads
 

@@ -1,36 +1,46 @@
 #!/usr/bin/env python3
 """Quickstart: run one SPEC-like workload on the insecure baseline and on MI6.
 
-This is the smallest end-to-end use of the library: build a simulator for
-each of the two machine configurations through the :class:`Simulator`
-facade, run the same calibrated synthetic benchmark on both, and print
-the slowdown that enclave-grade isolation costs (the paper's headline
-number is ~16.4% on average across SPEC CINT2006).
+This is the smallest end-to-end use of the library: open a
+:class:`repro.api.Session` (the single front door — it owns the result
+store and the mitigation registry), run the same calibrated synthetic
+benchmark on the baseline and on the full MI6 composition, and print the
+slowdown that enclave-grade isolation costs (the paper's headline number
+is ~16.4% on average across SPEC CINT2006).
+
+Variants are mitigation specs: try ``FLUSH+MISS`` or any other of the
+2^5 combinations as the third argument.  Because runs are served from
+the persistent result store, re-running this script is warm-start.
 
 Usage::
 
-    python examples/quickstart.py [benchmark] [instructions]
+    python examples/quickstart.py [benchmark] [instructions] [variant]
 """
 
 import sys
 
-from repro import Simulator, Variant
+from repro.api import Session
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
     instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    variant = sys.argv[3] if len(sys.argv) > 3 else "F+P+M+A"
 
-    base = Simulator.for_variant(Variant.BASE)
-    secured = Simulator.for_variant(Variant.F_P_M_A)
-
-    base_run = base.run(benchmark, instructions=instructions)
-    secured_run = secured.run(benchmark, instructions=instructions)
+    session = Session()
+    base = session.workload("BASE", benchmark, instructions=instructions)
+    secured = session.workload(variant, benchmark, instructions=instructions)
+    base_run, secured_run = base.value, secured.value
 
     print(f"benchmark          : {benchmark} ({instructions} instructions)")
     print(f"BASE      cycles   : {base_run.cycles:>10}  (CPI {base_run.result.cpi:.2f})")
-    print(f"F+P+M+A   cycles   : {secured_run.cycles:>10}  (CPI {secured_run.result.cpi:.2f})")
+    print(f"{variant:<9} cycles   : {secured_run.cycles:>10}  (CPI {secured_run.result.cpi:.2f})")
     print(f"enclave overhead   : {secured_run.overhead_vs(base_run):.1f}%")
+    print(
+        f"provenance         : {secured.provenance.origin} run, "
+        f"key {secured.provenance.cache_key[:12]}…, "
+        f"{secured.wall_time_seconds:.2f}s wall"
+    )
     print()
     print("Baseline characteristics:")
     print(f"  branch MPKI      : {base_run.result.branch_mpki:.1f}")

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """Mini Figure 13: the enclave overhead across the SPEC CINT2006 analogues.
 
-Declares the sweep as an :class:`ExperimentSpec` (BASE and F+P+M+A across
-every calibrated benchmark profile) and executes it through the
-:class:`ParallelRunner`, which fans uncached runs out over worker
+Declares the sweep as a :class:`repro.api.SweepRequest` (BASE and
+F+P+M+A across every calibrated benchmark profile) and runs it through a
+:class:`repro.api.Session`, which fans uncached runs out over worker
 processes and serves repeats from the persistent result store — so a
 second invocation of this script completes warm without re-running any
-simulation.  Prints the per-benchmark slowdown next to the values read
-off the paper's Figure 13.
+simulation (the provenance line at the end shows cold vs warm).  Prints
+the per-benchmark slowdown next to the values read off the paper's
+Figure 13.
 
 Usage::
 
@@ -16,9 +17,7 @@ Usage::
 
 import sys
 
-from repro.analysis.engine import ExperimentSpec, ParallelRunner
-from repro.analysis.store import ResultStore
-from repro.core.variants import Variant
+from repro.api import Session, SweepRequest
 from repro.workloads.characteristics import PAPER_REPORTED
 
 
@@ -26,23 +25,26 @@ def main() -> None:
     instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
     jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
 
-    spec = ExperimentSpec.create(
-        variants=[Variant.BASE, Variant.F_P_M_A], instructions=instructions
+    session = Session(jobs=jobs)
+    result = session.run(
+        SweepRequest(variants=["BASE", "F+P+M+A"], instructions=instructions)
     )
-    runner = ParallelRunner(ResultStore.from_environment(), jobs=jobs)
-    result = runner.run_spec(spec)
 
+    benchmarks = list(PAPER_REPORTED)
     print(f"{'benchmark':<12} {'measured (%)':>14} {'paper fig13 (%)':>16}")
     print("-" * 44)
     overheads = []
-    for name in spec.benchmarks:
-        overhead = result.overhead_percent(Variant.F_P_M_A, name)
+    for name in benchmarks:
+        overhead = result.overhead_percent("F+P+M+A", name)
         overheads.append(overhead)
         print(f"{name:<12} {overhead:>14.1f} {PAPER_REPORTED[name].overall_overhead_pct:>16.1f}")
     print("-" * 44)
     print(f"{'average':<12} {sum(overheads) / len(overheads):>14.1f} {16.4:>16.1f}")
     print()
-    print(f"({runner.executed_runs} runs simulated, {runner.warm_runs} warm from the result store)")
+    print(
+        f"({result.cold_count} runs simulated, {result.warm_count} warm from the "
+        f"result store, {result.wall_time_seconds:.2f}s wall)"
+    )
 
 
 if __name__ == "__main__":

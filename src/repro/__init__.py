@@ -8,12 +8,16 @@ access checks, machine-mode speculation restrictions), a security monitor
 and untrusted OS implementing enclaves, synthetic SPEC CINT2006 workloads,
 attack models, and a benchmark harness reproducing Figures 4-13.
 
-Typical entry points:
+Typical entry points — the Session API is the public front door:
 
->>> from repro import MI6Processor, Variant, config_for_variant
->>> processor = MI6Processor(config_for_variant(Variant.F_P_M_A))
->>> run = processor.run_workload("gcc", instructions=20_000)
->>> run.result.cpi  # doctest: +SKIP
+>>> from repro import Session
+>>> session = Session()
+>>> result = session.workload("FLUSH+MISS", "gcc", instructions=20_000)
+>>> result.value.result.cpi  # doctest: +SKIP
+
+Variants are composable mitigation specs (any ``+``-combination of
+FLUSH, PART, MISS, ARB, NONSPEC); the paper's seven processors are the
+named points BASE … F+P+M+A of that 2^5 lattice.
 """
 
 from repro.analysis.engine import (
@@ -24,7 +28,25 @@ from repro.analysis.engine import (
     RunRequest,
 )
 from repro.analysis.store import ResultStore
+from repro.api import (
+    Provenance,
+    Result,
+    ScenarioRequest,
+    Session,
+    SweepRequest,
+    WorkloadRequest,
+    default_session,
+    set_default_session,
+)
 from repro.core.config import MI6Config
+from repro.core.mitigations import (
+    Mitigation,
+    MitigationSet,
+    config_for_spec,
+    known_mitigations,
+    parse_spec,
+    register_mitigation,
+)
 from repro.core.processor import MI6Processor, WorkloadRun
 from repro.core.protection import ProtectionDomain, RegionBitvector
 from repro.core.purge import PurgeUnit
@@ -41,7 +63,7 @@ from repro.os_model.machine import Machine
 from repro.workloads.generator import SyntheticWorkload
 from repro.workloads.spec_cint2006 import SPEC_CINT2006, benchmark_names, profile_for
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EvaluationSettings",
@@ -51,22 +73,36 @@ __all__ = [
     "MI6Processor",
     "Machine",
     "MaliciousOS",
+    "Mitigation",
+    "MitigationSet",
     "ParallelRunner",
     "ProtectionDomain",
+    "Provenance",
     "PurgeUnit",
     "RegionBitvector",
+    "Result",
     "ResultStore",
     "RunRequest",
     "SPEC_CINT2006",
+    "ScenarioRequest",
     "SecurityMonitor",
+    "Session",
     "Simulator",
+    "SweepRequest",
     "SyntheticWorkload",
     "UntrustedOS",
     "Variant",
+    "WorkloadRequest",
     "WorkloadRun",
     "benchmark_names",
+    "config_for_spec",
     "config_for_variant",
+    "default_session",
+    "known_mitigations",
+    "parse_spec",
     "parse_variant",
     "profile_for",
+    "register_mitigation",
+    "set_default_session",
     "variant_description",
 ]

@@ -43,7 +43,14 @@ from repro.core.serialization import (
     scenario_cache_key,
 )
 from repro.core.simulator import DEFAULT_SEED, Simulator
-from repro.core.variants import Variant, all_variants, config_for_variant
+from repro.core.variants import (
+    Variant,
+    VariantLike,
+    all_variants,
+    as_spec,
+    config_for_variant,
+    spec_name,
+)
 from repro.analysis.store import ResultStore
 from repro.workloads.spec_cint2006 import benchmark_names
 
@@ -94,14 +101,14 @@ def default_jobs() -> int:
 # Evaluation policy: how a (variant, settings) pair becomes a request
 
 
-def instructions_for_variant(variant: Variant, instructions: int) -> int:
-    """Per-variant run length (NONSPEC runs a truncated interval)."""
-    if variant is Variant.NONSPEC:
+def instructions_for_variant(variant: VariantLike, instructions: int) -> int:
+    """Per-variant run length (NONSPEC combinations run truncated)."""
+    if "NONSPEC" in as_spec(variant):
         return max(2_000, int(instructions * NONSPEC_INSTRUCTIONS_FRACTION))
     return instructions
 
 
-def evaluation_config(variant: Variant, instructions: int) -> MI6Config:
+def evaluation_config(variant: VariantLike, instructions: int) -> MI6Config:
     """Machine configuration used by the evaluation for one variant.
 
     Scales the timer-trap interval with the run length so every run sees
@@ -164,7 +171,7 @@ class RunRequest:
 
 
 def request_for(
-    variant: Variant,
+    variant: VariantLike,
     benchmark: str,
     settings: Optional[EvaluationSettings] = None,
 ) -> RunRequest:
@@ -217,10 +224,13 @@ class ScenarioRequest:
     scenario: str
     config: MI6Config
     seed: int = DEFAULT_SEED
+    num_cores: int = 2
 
     def cache_key(self) -> str:
         """Content-hash identity of this scenario run (the store key)."""
-        return scenario_cache_key(self.scenario, self.config, self.seed)
+        return scenario_cache_key(
+            self.scenario, self.config, self.seed, num_cores=self.num_cores
+        )
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON-compatible encoding shipped to worker processes."""
@@ -228,6 +238,7 @@ class ScenarioRequest:
             "scenario": self.scenario,
             "config": config_to_dict(self.config),
             "seed": self.seed,
+            "num_cores": self.num_cores,
         }
 
     @classmethod
@@ -237,12 +248,15 @@ class ScenarioRequest:
             scenario=payload["scenario"],
             config=config_from_dict(payload["config"]),
             seed=payload["seed"],
+            num_cores=payload.get("num_cores", 2),
         )
 
 
 def execute_scenario_request(request: ScenarioRequest) -> ScenarioOutcome:
     """Run one scenario on a fresh machine (the only place scenarios run)."""
-    return run_scenario(request.scenario, request.config, request.seed)
+    return run_scenario(
+        request.scenario, request.config, request.seed, num_cores=request.num_cores
+    )
 
 
 def _scenario_pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -252,22 +266,26 @@ def _scenario_pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A security sweep: scenarios × variants × seeds.
+    """A security sweep: scenarios × variants × seeds (× machine size).
 
     Requests are expanded in deterministic insertion order (scenarios
     outermost, seeds innermost), mirroring :class:`ExperimentSpec`.
+    Variants are :data:`~repro.core.mitigations.VariantLike` — legacy
+    enum members, mitigation sets, or spec strings like ``FLUSH+MISS``.
     """
 
     scenarios: Tuple[str, ...]
-    variants: Tuple[Variant, ...] = DEFAULT_SCENARIO_VARIANTS
+    variants: Tuple[VariantLike, ...] = DEFAULT_SCENARIO_VARIANTS
     seeds: Tuple[int, ...] = (DEFAULT_SEED,)
+    num_cores: int = 2
 
     @classmethod
     def create(
         cls,
         scenarios: Optional[Sequence[str]] = None,
-        variants: Optional[Sequence[Variant]] = None,
+        variants: Optional[Sequence[VariantLike]] = None,
         seeds: Optional[Sequence[int]] = None,
+        num_cores: int = 2,
     ) -> "ScenarioSpec":
         """Spec with security-evaluation defaults for anything omitted.
 
@@ -292,6 +310,8 @@ class ScenarioSpec:
                     f"unknown scenario(s): {', '.join(unknown)} "
                     f"(expected: {', '.join(known)})"
                 )
+        if num_cores < 2:
+            raise ValueError("num_cores must be at least 2 (attacker + victim)")
         settings = EvaluationSettings.from_environment()
         return cls(
             scenarios=tuple(scenarios) if scenarios is not None else tuple(known),
@@ -299,6 +319,7 @@ class ScenarioSpec:
                 tuple(variants) if variants is not None else DEFAULT_SCENARIO_VARIANTS
             ),
             seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+            num_cores=num_cores,
         )
 
     @property
@@ -310,7 +331,10 @@ class ScenarioSpec:
         """Expand the sweep into scenario requests (deterministic order)."""
         return [
             ScenarioRequest(
-                scenario=scenario, config=config_for_variant(variant), seed=seed
+                scenario=scenario,
+                config=config_for_variant(variant),
+                seed=seed,
+                num_cores=self.num_cores,
             )
             for scenario in self.scenarios
             for variant in self.variants
@@ -328,9 +352,13 @@ class ExperimentSpec:
 
     Requests are expanded in deterministic insertion order (variants
     outermost, seeds innermost) so result rows line up across runs.
+    Variants are :data:`~repro.core.mitigations.VariantLike`: legacy
+    enum members, composed :class:`~repro.core.mitigations.MitigationSet`
+    values, and spec strings (``"FLUSH+MISS"``) may be mixed freely —
+    the full 2^5 mitigation lattice is sweepable.
     """
 
-    variants: Tuple[Variant, ...]
+    variants: Tuple[VariantLike, ...]
     benchmarks: Tuple[str, ...]
     seeds: Tuple[int, ...] = (DEFAULT_SEED,)
     instructions: int = DEFAULT_INSTRUCTIONS
@@ -338,7 +366,7 @@ class ExperimentSpec:
     @classmethod
     def create(
         cls,
-        variants: Optional[Sequence[Variant]] = None,
+        variants: Optional[Sequence[VariantLike]] = None,
         benchmarks: Optional[Sequence[str]] = None,
         seeds: Optional[Sequence[int]] = None,
         instructions: Optional[int] = None,
@@ -403,14 +431,14 @@ class ExperimentResult:
             self._index[(request.config.name, request.benchmark, request.seed)] = run
 
     def run_for(
-        self, variant: Variant, benchmark: str, seed: Optional[int] = None
+        self, variant: VariantLike, benchmark: str, seed: Optional[int] = None
     ) -> WorkloadRun:
         """The run for one (variant, benchmark, seed) cell of the sweep."""
         seed = seed if seed is not None else self.spec.seeds[0]
-        return self._index[(variant.value, benchmark, seed)]
+        return self._index[(spec_name(variant), benchmark, seed)]
 
     def overhead_percent(
-        self, variant: Variant, benchmark: str, seed: Optional[int] = None
+        self, variant: VariantLike, benchmark: str, seed: Optional[int] = None
     ) -> float:
         """Runtime overhead of ``variant`` over BASE for one benchmark.
 
@@ -439,6 +467,14 @@ class ParallelRunner:
     Attributes:
         executed_runs: Simulations actually executed by this runner.
         warm_runs: Requests served from the store without simulating.
+        last_origins: Per-request provenance of the most recent
+            :meth:`run`/:meth:`run_scenarios` call, aligned with the
+            request sequence: ``"warm"`` for store hits, ``"cold"`` for
+            executed simulations (duplicate positions of one executed
+            key are all ``"cold"``).
+        last_keys: Cache keys of the most recent call, aligned the same
+            way — computed once here, so provenance consumers (the
+            Session API) never re-hash configurations.
     """
 
     def __init__(self, store: Optional[ResultStore] = None, *, jobs: int = 1) -> None:
@@ -446,6 +482,8 @@ class ParallelRunner:
         self.jobs = max(1, jobs)
         self.executed_runs = 0
         self.warm_runs = 0
+        self.last_origins: List[str] = []
+        self.last_keys: List[str] = []
 
     def _execute_through_store(
         self,
@@ -468,16 +506,19 @@ class ParallelRunner:
         """
         requests = list(requests)
         results: List[Any] = [None] * len(requests)
+        origins: List[str] = ["cold"] * len(requests)
+        keys: List[str] = [request.cache_key() for request in requests]
         by_key: Dict[str, List[int]] = {}
         pending: Dict[str, List[int]] = {}
         pending_requests: Dict[str, Any] = {}
-        for position, request in enumerate(requests):
-            by_key.setdefault(request.cache_key(), []).append(position)
+        for position, key in enumerate(keys):
+            by_key.setdefault(key, []).append(position)
         for key, positions in by_key.items():
             cached = lookup(key)
             if cached is not None:
                 for position in positions:
                     results[position] = cached
+                    origins[position] = "warm"
                 self.warm_runs += len(positions)
             else:
                 pending[key] = positions
@@ -500,6 +541,8 @@ class ParallelRunner:
                 self.executed_runs += 1
                 for position in pending[key]:
                     results[position] = result
+        self.last_origins = origins
+        self.last_keys = keys
         return results
 
     def run(self, requests: Sequence[RunRequest]) -> List[WorkloadRun]:

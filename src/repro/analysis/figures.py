@@ -11,17 +11,18 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.analysis.engine import ParallelRunner, ScenarioSpec, default_jobs
 from repro.analysis.harness import (
     EvaluationSettings,
     branch_mpki_metric,
-    default_store,
     flush_stall_metric,
     llc_mpki_metric,
     run_figure_series,
     runtime_overhead_metric,
 )
 from repro.analysis.store import ResultStore
+from repro.api.requests import ScenarioRequest
+from repro.api.session import coerce_session
+from repro.core.mitigations import VariantLike
 from repro.core.variants import Variant, config_for_variant
 from repro.workloads.characteristics import PAPER_REPORTED
 
@@ -156,18 +157,18 @@ def figure13_overall_overhead(
 SECURITY_TABLE_TITLE = "Security scenarios: leaked bits (recovered/at stake)"
 
 
-def aggregate_leakage_rows(pairs) -> Dict[str, Dict[str, str]]:
-    """Fold ``(ScenarioRequest, ScenarioOutcome)`` pairs into table rows.
+def aggregate_leakage_rows(outcomes) -> Dict[str, Dict[str, str]]:
+    """Fold :class:`ScenarioOutcome` values into table rows.
 
     Leaked/total bit counts are summed over seeds per (scenario,
     variant) cell; the result maps scenario name -> variant name ->
     ``"leaked/total"``.  Used by :func:`security_leakage_table` and by
-    the CLI, which already holds the pairs from its own sweep.
+    the CLI, which already holds the outcomes from its own sweep.
     """
     tallies: Dict[str, Dict[str, list]] = {}
-    for request, outcome in pairs:
-        cell = tallies.setdefault(request.scenario, {}).setdefault(
-            request.config.name, [0, 0]
+    for outcome in outcomes:
+        cell = tallies.setdefault(outcome.scenario, {}).setdefault(
+            outcome.variant, [0, 0]
         )
         cell[0] += outcome.leaked_bits
         cell[1] += outcome.total_bits
@@ -183,27 +184,29 @@ def security_leakage_table(
     settings: Optional[EvaluationSettings] = None,
     *,
     scenarios: Optional[Tuple[str, ...]] = None,
-    variants: Optional[Tuple[Variant, ...]] = None,
+    variants: Optional[Tuple[VariantLike, ...]] = None,
     seeds: Optional[Tuple[int, ...]] = None,
+    num_cores: int = 2,
     jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
 ) -> Tuple[str, Dict[str, Dict[str, str]]]:
     """Section 6 security evaluation: leaked bits per scenario × variant.
 
     Runs every co-scheduled attack scenario on every requested variant
-    (BASE vs F+P+M+A by default) through the experiment engine — warm
-    results come from the store — and aggregates leaked/total bit counts
-    over the seeds.  Returns ``(title, rows)`` as consumed by
+    (BASE vs F+P+M+A by default, arbitrary mitigation combinations
+    accepted) through the Session API — warm results come from the
+    session's store — and aggregates leaked/total bit counts over the
+    seeds.  Returns ``(title, rows)`` as consumed by
     :func:`repro.analysis.report.format_security_table`.
     """
     settings = settings or EvaluationSettings.from_environment()
-    spec = ScenarioSpec.create(
-        scenarios=scenarios,
-        variants=variants,
-        seeds=seeds if seeds is not None else (settings.seed,),
+    session = coerce_session(store, jobs)
+    result = session.run(
+        ScenarioRequest(
+            scenarios=scenarios,
+            variants=variants,
+            seeds=seeds if seeds is not None else (settings.seed,),
+            num_cores=num_cores,
+        )
     )
-    runner = ParallelRunner(
-        store if store is not None else default_store(),
-        jobs=jobs if jobs is not None else default_jobs(),
-    )
-    return SECURITY_TABLE_TITLE, aggregate_leakage_rows(runner.run_scenario_spec(spec))
+    return SECURITY_TABLE_TITLE, aggregate_leakage_rows(result.outcomes)

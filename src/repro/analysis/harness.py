@@ -1,11 +1,13 @@
-"""Evaluation harness: figure-level views over the experiment engine.
+"""Evaluation harness: figure-level views over the Session API.
 
 Every figure in the paper's evaluation compares one secured variant
 against BASE across the eleven SPEC benchmarks.  The harness expresses
-those comparisons on top of :mod:`repro.analysis.engine` (which executes
-runs, in parallel when asked) and :mod:`repro.analysis.store` (which
-keeps results in memory and on disk, so BASE runs are shared between
-figures and repeated invocations are warm-start).
+those comparisons on top of :class:`repro.api.Session` — the single front
+door that owns the result store and the parallel runner — so BASE runs
+are shared between figures and repeated invocations are warm-start.
+``variant`` arguments accept the full mitigation vocabulary
+(:data:`~repro.core.mitigations.VariantLike`): legacy enum members,
+composed sets, or spec strings such as ``"FLUSH+MISS"``.
 
 Run length is controlled by the ``REPRO_BENCH_INSTRUCTIONS`` environment
 variable (default 30000) and the sweep seed by ``REPRO_BENCH_SEED``
@@ -23,13 +25,17 @@ from repro.analysis.engine import (
     NONSPEC_INSTRUCTIONS_FRACTION,
     SEED_ENV_VAR,
     EvaluationSettings,
-    ParallelRunner,
-    default_jobs,
-    request_for,
 )
 from repro.analysis.store import ResultStore
+from repro.api.requests import SweepRequest, WorkloadRequest
+from repro.api.session import (
+    Session,
+    coerce_session,
+    default_session,
+    set_default_session,
+)
+from repro.core.mitigations import VariantLike, spec_name
 from repro.core.processor import WorkloadRun
-from repro.core.variants import Variant
 from repro.workloads.spec_cint2006 import benchmark_names
 
 __all__ = [
@@ -50,25 +56,24 @@ __all__ = [
     "set_default_store",
 ]
 
-_DEFAULT_STORE: Optional[ResultStore] = None
-
 
 def default_store() -> ResultStore:
-    """The store shared by every harness call that doesn't bring its own.
+    """The default session's result store (deprecated shim).
 
-    Created lazily from the environment: on-disk under ``.repro_cache/``
-    (or ``$REPRO_CACHE_DIR``) unless ``REPRO_CACHE=off``.
+    Call sites that only need somewhere to cache runs should use
+    :func:`repro.api.default_session` directly; this remains because the
+    store-centric signature predates the Session API.
     """
-    global _DEFAULT_STORE
-    if _DEFAULT_STORE is None:
-        _DEFAULT_STORE = ResultStore.from_environment()
-    return _DEFAULT_STORE
+    return default_session().store
 
 
 def set_default_store(store: ResultStore) -> ResultStore:
-    """Replace the shared store (the CLI points it at ``--cache-dir``)."""
-    global _DEFAULT_STORE
-    _DEFAULT_STORE = store
+    """Point the shared session at ``store`` (deprecated shim).
+
+    Replaces the process-wide default session with one owning ``store``;
+    prefer :func:`repro.api.set_default_session`.
+    """
+    set_default_session(Session(store))
     return store
 
 
@@ -84,19 +89,27 @@ def clear_run_cache(*, disk: bool = False) -> None:
 
 
 def cached_run(
-    variant: Variant,
+    variant: VariantLike,
     benchmark: str,
     settings: Optional[EvaluationSettings] = None,
     *,
     store: Optional[ResultStore] = None,
 ) -> WorkloadRun:
     """Run one benchmark on one variant, served from the result store."""
-    runner = ParallelRunner(store if store is not None else default_store())
-    return runner.run_one(request_for(variant, benchmark, settings))
+    session = coerce_session(store)
+    settings = settings or session.settings
+    return session.run(
+        WorkloadRequest(
+            variant=variant,
+            benchmark=benchmark,
+            instructions=settings.instructions,
+            seed=settings.seed,
+        )
+    ).value
 
 
 def overhead_percent(
-    variant: Variant,
+    variant: VariantLike,
     benchmark: str,
     settings: Optional[EvaluationSettings] = None,
     *,
@@ -109,13 +122,13 @@ def overhead_percent(
     instruction counts (the NONSPEC truncation).
     """
     settings = settings or EvaluationSettings.from_environment()
-    base = cached_run(Variant.BASE, benchmark, settings, store=store)
+    base = cached_run("BASE", benchmark, settings, store=store)
     secured = cached_run(variant, benchmark, settings, store=store)
     return runtime_overhead_metric(base, secured)
 
 
 def run_figure_series(
-    variant: Variant,
+    variant: VariantLike,
     metric: Callable[[WorkloadRun, WorkloadRun], float],
     settings: Optional[EvaluationSettings] = None,
     benchmarks: Optional[List[str]] = None,
@@ -133,13 +146,14 @@ def run_figure_series(
     silently clobbering the mean.
 
     Args:
-        variant: Secured variant to compare against BASE.
+        variant: Secured variant (any mitigation combination) to
+            compare against BASE.
         metric: Figure metric computed from the (base, variant) run pair.
         settings: Sweep settings (environment defaults if omitted).
         benchmarks: Benchmark subset (all eleven if omitted).
         jobs: Worker processes for uncached runs (``REPRO_BENCH_JOBS``,
             default 1, if omitted).
-        store: Result store (the shared default store if omitted).
+        store: Result store (the shared default session's if omitted).
     """
     settings = settings or EvaluationSettings.from_environment()
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
@@ -149,20 +163,23 @@ def run_figure_series(
         raise ValueError(
             'benchmark name "average" is reserved for the synthetic mean entry'
         )
-    runner = ParallelRunner(
-        store if store is not None else default_store(),
-        jobs=jobs if jobs is not None else default_jobs(),
+    session = coerce_session(store, jobs)
+    name = spec_name(variant)
+    variants: List[VariantLike] = ["BASE"] if name == "BASE" else ["BASE", variant]
+    result = session.run(
+        SweepRequest(
+            variants=variants,
+            benchmarks=names,
+            seeds=(settings.seed,),
+            instructions=settings.instructions,
+        )
     )
-    requests = [request_for(Variant.BASE, name, settings) for name in names]
-    if variant is not Variant.BASE:
-        requests += [request_for(variant, name, settings) for name in names]
-    runs = runner.run(requests)
-    base_runs = runs[: len(names)]
-    variant_runs = runs[len(names) :] if variant is not Variant.BASE else base_runs
     series: Dict[str, float] = {}
-    for name, base, secured in zip(names, base_runs, variant_runs):
-        series[name] = metric(base, secured)
-    series["average"] = sum(series[name] for name in names) / len(names)
+    for benchmark in names:
+        base = result.run_for("BASE", benchmark)
+        secured = result.run_for(variant, benchmark)
+        series[benchmark] = metric(base, secured)
+    series["average"] = sum(series[benchmark] for benchmark in names) / len(names)
     return series
 
 

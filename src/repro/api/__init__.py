@@ -1,0 +1,54 @@
+"""Public Session/Request API of the MI6 reproduction.
+
+The one front door every consumer goes through:
+
+>>> from repro.api import Session
+>>> session = Session()
+>>> result = session.workload("FLUSH+MISS", "gcc", instructions=5_000)
+>>> result.value.cycles  # doctest: +SKIP
+>>> result.provenance.origin  # doctest: +SKIP
+'cold'
+
+* :class:`Session` — owns the result store, the parallel runner, the
+  evaluation settings, and the registries;
+* :class:`WorkloadRequest` / :class:`SweepRequest` /
+  :class:`ScenarioRequest` — the typed request hierarchy;
+* :class:`Result` / :class:`ResultEntry` / :class:`Provenance` — the
+  uniform result envelope (content-hash cache key, schema version,
+  cold/warm origin, wall time);
+* :func:`default_session` / :func:`set_default_session` — the shared
+  process-wide session the figure functions and harness route through.
+
+Variant arguments everywhere accept the composable mitigation vocabulary
+of :mod:`repro.core.mitigations`: ``"BASE"``, ``"FLUSH"``,
+``"FLUSH+MISS"``, ``"f+p+m+a"``, a :class:`~repro.core.variants.Variant`
+member, or a :class:`~repro.core.mitigations.MitigationSet`.
+"""
+
+from repro.api.requests import (
+    Request,
+    ScenarioRequest,
+    SweepRequest,
+    WorkloadRequest,
+)
+from repro.api.results import Provenance, Result, ResultEntry
+from repro.api.session import (
+    Session,
+    coerce_session,
+    default_session,
+    set_default_session,
+)
+
+__all__ = [
+    "Provenance",
+    "Request",
+    "Result",
+    "ResultEntry",
+    "ScenarioRequest",
+    "Session",
+    "SweepRequest",
+    "WorkloadRequest",
+    "coerce_session",
+    "default_session",
+    "set_default_session",
+]

@@ -1,0 +1,149 @@
+"""The typed request hierarchy accepted by :class:`repro.api.Session`.
+
+Every experiment the simulator can run is declared as one of three
+request shapes, and every front end (CLI, figures, benchmarks, examples,
+notebooks) speaks this one vocabulary instead of its own dialect:
+
+* :class:`WorkloadRequest` — one benchmark on one machine configuration;
+* :class:`SweepRequest` — a cartesian variants × benchmarks × seeds grid;
+* :class:`ScenarioRequest` — co-scheduled security scenarios across
+  variants × seeds on an N-core machine.
+
+Requests are *declarative*: fields left as ``None`` resolve against the
+session's :class:`~repro.analysis.engine.EvaluationSettings` (environment
+defaults) at run time.  ``resolve`` lowers each request onto the engine's
+fully-specified form — :class:`~repro.analysis.engine.RunRequest`,
+:class:`~repro.analysis.engine.ExperimentSpec`, or
+:class:`~repro.analysis.engine.ScenarioSpec` — which is where the
+content-hash cache keys live.  Variant fields accept anything
+:data:`~repro.core.mitigations.VariantLike`: legacy enum members,
+composed :class:`~repro.core.mitigations.MitigationSet` values, or spec
+strings such as ``"FLUSH+MISS"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Union
+
+from repro.analysis.engine import (
+    EvaluationSettings,
+    ExperimentSpec,
+    RunRequest,
+    ScenarioSpec,
+    request_for,
+)
+from repro.analysis.engine import ScenarioRequest as EngineScenarioRequest
+from repro.core.config import MI6Config
+from repro.core.mitigations import VariantLike
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One benchmark run on one machine configuration.
+
+    Attributes:
+        variant: Mitigation spec of the machine (ignored when ``config``
+            is given).
+        benchmark: Benchmark profile name.
+        instructions: Instructions to commit (session default if None).
+        seed: Run seed (session default if None).
+        warm_up: Prime caches/TLBs before the measured interval.
+        config: Explicit machine configuration, for ablations that step
+            outside the mitigation lattice entirely.
+    """
+
+    variant: VariantLike = "BASE"
+    benchmark: str = "gcc"
+    instructions: Optional[int] = None
+    seed: Optional[int] = None
+    warm_up: bool = True
+    config: Optional[MI6Config] = None
+
+    def resolve(self, settings: EvaluationSettings) -> RunRequest:
+        """Lower onto the engine's fully-specified run request."""
+        instructions = (
+            self.instructions if self.instructions is not None else settings.instructions
+        )
+        seed = self.seed if self.seed is not None else settings.seed
+        if self.config is not None:
+            return RunRequest(
+                config=self.config,
+                benchmark=self.benchmark,
+                instructions=instructions,
+                seed=seed,
+                warm_up=self.warm_up,
+            )
+        resolved = request_for(
+            self.variant,
+            self.benchmark,
+            EvaluationSettings(instructions=instructions, seed=seed),
+        )
+        if not self.warm_up:
+            resolved = replace(resolved, warm_up=False)
+        return resolved
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A cartesian sweep: variants × benchmarks × seeds.
+
+    ``None`` fields resolve to the paper's full grid (all seven named
+    variants, all eleven benchmarks) and the session settings — i.e. an
+    empty ``SweepRequest()`` is the Figure 13 evaluation.
+    """
+
+    variants: Optional[Sequence[VariantLike]] = None
+    benchmarks: Optional[Sequence[str]] = None
+    seeds: Optional[Sequence[int]] = None
+    instructions: Optional[int] = None
+
+    def resolve(self, settings: EvaluationSettings) -> ExperimentSpec:
+        """Lower onto the engine's experiment spec."""
+        return ExperimentSpec.create(
+            variants=self.variants,
+            benchmarks=self.benchmarks,
+            seeds=self.seeds if self.seeds is not None else (settings.seed,),
+            instructions=(
+                self.instructions
+                if self.instructions is not None
+                else settings.instructions
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """Co-scheduled security scenarios across variants × seeds.
+
+    ``None`` fields resolve to every registered scenario, the paper's
+    BASE-vs-F+P+M+A comparison, and the session seed.  ``num_cores``
+    scales the shared machine past the attacker+victim pair (extra cores
+    host bystander domains per the placement policy).
+    """
+
+    scenarios: Optional[Sequence[str]] = None
+    variants: Optional[Sequence[VariantLike]] = None
+    seeds: Optional[Sequence[int]] = None
+    num_cores: int = 2
+
+    def resolve(self, settings: EvaluationSettings) -> ScenarioSpec:
+        """Lower onto the engine's scenario spec."""
+        return ScenarioSpec.create(
+            scenarios=self.scenarios,
+            variants=self.variants,
+            seeds=self.seeds if self.seeds is not None else (settings.seed,),
+            num_cores=self.num_cores,
+        )
+
+
+#: Any request the Session accepts.
+Request = Union[WorkloadRequest, SweepRequest, ScenarioRequest]
+
+__all__ = [
+    "EngineScenarioRequest",
+    "Request",
+    "ScenarioRequest",
+    "SweepRequest",
+    "WorkloadRequest",
+]

@@ -1,0 +1,176 @@
+"""The uniform result envelope returned by :class:`repro.api.Session`.
+
+Whatever the request shape — one workload, a sweep grid, a scenario
+matrix — the session answers with one :class:`Result`: an ordered list of
+:class:`ResultEntry` values, each carrying the domain object
+(:class:`~repro.core.processor.WorkloadRun` or
+:class:`~repro.attacks.scenarios.ScenarioOutcome`) plus its
+:class:`Provenance` — the content-hash cache key the entry is stored
+under, the serialization schema version, and whether it was simulated
+this call (``cold``) or served from the result store (``warm``).  The
+envelope records the wall time of the whole request, so callers can see
+what a warm-start actually saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.engine import ExperimentResult
+from repro.attacks.scenarios import ScenarioOutcome
+from repro.core.mitigations import VariantLike, spec_name
+from repro.core.processor import WorkloadRun
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where one result entry came from.
+
+    Attributes:
+        cache_key: Content-hash identity of the run (the store key): a
+            SHA-256 over the complete machine configuration and every
+            workload parameter.
+        schema_version: Serialisation schema the entry is stored under.
+        origin: ``"cold"`` (simulated by this call) or ``"warm"``
+            (served from the result store).
+    """
+
+    cache_key: str
+    schema_version: int
+    origin: str
+
+    @property
+    def warm(self) -> bool:
+        """True when the entry was served from the store."""
+        return self.origin == "warm"
+
+
+@dataclass(frozen=True)
+class ResultEntry:
+    """One cell of a result: a domain value plus its provenance.
+
+    ``key`` addresses the cell within its request — ``(variant_name,
+    benchmark, seed)`` for workload runs, ``(scenario, variant_name,
+    seed)`` for scenario outcomes.
+    """
+
+    key: Tuple[Any, ...]
+    value: Any
+    provenance: Provenance
+
+
+@dataclass
+class Result:
+    """Uniform envelope for any session request.
+
+    Attributes:
+        request: The request that produced this result (as submitted).
+        entries: One entry per expanded cell, in deterministic
+            expansion order.
+        wall_time_seconds: Wall time of the whole request, including
+            store lookups and any parallel fan-out.
+        sweep: For sweep requests, the engine's indexed
+            :class:`~repro.analysis.engine.ExperimentResult` (overhead
+            accessors); ``None`` otherwise.
+    """
+
+    request: Any
+    entries: List[ResultEntry]
+    wall_time_seconds: float
+    sweep: Optional[ExperimentResult] = None
+    _index: Dict[Tuple[Any, ...], ResultEntry] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for entry in self.entries:
+            self._index[entry.key] = entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    # Single-value conveniences
+
+    @property
+    def value(self) -> Any:
+        """The single entry's value (errors on multi-entry results)."""
+        if len(self.entries) != 1:
+            raise ValueError(
+                f"result has {len(self.entries)} entries; use .entries or the "
+                "keyed accessors"
+            )
+        return self.entries[0].value
+
+    @property
+    def provenance(self) -> Provenance:
+        """The single entry's provenance (errors on multi-entry results)."""
+        if len(self.entries) != 1:
+            raise ValueError(
+                f"result has {len(self.entries)} entries; use .entries"
+            )
+        return self.entries[0].provenance
+
+    # ------------------------------------------------------------------
+    # Provenance summaries
+
+    @property
+    def cold_count(self) -> int:
+        """Entries simulated by this call."""
+        return sum(1 for entry in self.entries if not entry.provenance.warm)
+
+    @property
+    def warm_count(self) -> int:
+        """Entries served from the result store."""
+        return sum(1 for entry in self.entries if entry.provenance.warm)
+
+    # ------------------------------------------------------------------
+    # Keyed accessors
+
+    def entry(self, *key: Any) -> ResultEntry:
+        """The entry with the given cell key."""
+        return self._index[tuple(key)]
+
+    def run_for(
+        self, variant: VariantLike, benchmark: str, seed: Optional[int] = None
+    ) -> WorkloadRun:
+        """The workload run of one (variant, benchmark, seed) sweep cell."""
+        if self.sweep is None:
+            raise ValueError("run_for is only available on sweep results")
+        return self.sweep.run_for(variant, benchmark, seed)
+
+    def overhead_percent(
+        self, variant: VariantLike, benchmark: str, seed: Optional[int] = None
+    ) -> float:
+        """Runtime overhead of ``variant`` over BASE for one benchmark."""
+        if self.sweep is None:
+            raise ValueError("overhead_percent is only available on sweep results")
+        return self.sweep.overhead_percent(variant, benchmark, seed)
+
+    def outcome_for(
+        self, scenario: str, variant: VariantLike, seed: Optional[int] = None
+    ) -> ScenarioOutcome:
+        """The outcome of one (scenario, variant, seed) matrix cell."""
+        if seed is None:
+            candidates = [
+                entry
+                for entry in self.entries
+                if entry.key[:2] == (scenario, spec_name(variant))
+            ]
+            if not candidates:
+                raise KeyError((scenario, spec_name(variant)))
+            return candidates[0].value
+        return self.entry(scenario, spec_name(variant), seed).value
+
+    @property
+    def outcomes(self) -> List[ScenarioOutcome]:
+        """All scenario outcomes, in expansion order."""
+        return [
+            entry.value
+            for entry in self.entries
+            if isinstance(entry.value, ScenarioOutcome)
+        ]

@@ -110,10 +110,15 @@ def detailed_config_for(config: MI6Config, *, num_cores: int = 2) -> DetailedLlc
     carry over from the machine configuration.
     """
     secure = bool(config.partition_mshrs and config.llc_arbiter)
+    # Section 5.2 sizing rule: each core's MSHR partition may emit two
+    # DRAM requests, and the sum must stay within the controller's
+    # occupancy limit.  The classic two-core machine keeps its historic
+    # 4 MSHRs/core; bigger machines shrink the partitions accordingly.
+    mshrs_per_core = min(4, max(1, config.dram.max_outstanding // (2 * num_cores)))
     return DetailedLlcConfig(
         num_cores=num_cores,
         secure=secure,
-        mshrs_per_core=4,
+        mshrs_per_core=mshrs_per_core,
         total_mshrs=8,
         dram_latency=config.dram.latency_cycles,
         dram_max_outstanding=config.dram.max_outstanding,

@@ -5,15 +5,21 @@ Examples::
     repro-bench figure fig13 --jobs 4
     repro-bench figure all --instructions 10000
     repro-bench sweep --variants BASE F+P+M+A --benchmarks gcc mcf --jobs 4
+    repro-bench sweep --variants FLUSH+MISS PART+ARB+NONSPEC --benchmarks astar
     repro-bench sweep --seeds 2019 2020 2021 --benchmarks astar
     repro-bench attack
     repro-bench attack prime_probe contention --variants BASE PART --jobs 2
+    repro-bench attack --num-cores 4 --variants BASE FLUSH+MISS
     repro-bench list
 
-Runs are served from the persistent result store (``.repro_cache/`` by
-default), so repeating an invocation is warm-start: the cache summary
-line at the end reports how many runs were actually simulated.  Use
-``--no-cache`` for a memory-only store or ``--cache-dir`` to relocate it.
+Variants are mitigation specs: any ``+``-combination of FLUSH, PART,
+MISS, ARB, and NONSPEC (or the named ``BASE``/``F+P+M+A``), opening the
+full 2^5 ablation lattice to sweeps and attacks alike.  Every command
+runs through one :class:`repro.api.Session`, so runs are served from the
+persistent result store (``.repro_cache/`` by default) and repeating an
+invocation is warm-start: the cache summary line at the end reports how
+many runs were actually simulated.  Use ``--no-cache`` for a memory-only
+store or ``--cache-dir`` to relocate it.
 """
 
 from __future__ import annotations
@@ -23,18 +29,19 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis import figures
-from repro.analysis.engine import (
-    EvaluationSettings,
-    ExperimentSpec,
-    ParallelRunner,
-    ScenarioSpec,
-    default_jobs,
-)
-from repro.analysis.harness import set_default_store
+from repro.analysis.engine import EvaluationSettings
 from repro.analysis.report import format_security_table, format_series_table
 from repro.analysis.store import DEFAULT_CACHE_DIR, ResultStore
-from repro.attacks.scenarios import scenario_description, scenario_names
-from repro.core.variants import Variant, all_variants, parse_variant
+from repro.api import (
+    ScenarioRequest,
+    Session,
+    SweepRequest,
+    set_default_session,
+)
+from repro.attacks.scenarios import scenario_names
+from repro.common.errors import ConfigurationError
+from repro.core.mitigations import known_compositions, known_mitigations
+from repro.core.variants import parse_variant
 from repro.workloads.spec_cint2006 import benchmark_names
 
 #: Figure name -> callable printing that figure's tables.
@@ -98,25 +105,31 @@ def _normalize_figure_name(name: str) -> str:
     return f"fig{int(text):02d}" if text.isdigit() else name.strip().lower()
 
 
-def _print_cache_summary(store: ResultStore) -> None:
+def _print_cache_summary(session: Session, wall_time: Optional[float] = None) -> None:
+    store = session.store
     print()
-    print(
+    line = (
         f"cache: {store.misses} runs simulated, "
         f"{store.disk_hits} warm from disk, "
         f"{store.memory_hits} reused in memory"
     )
+    if wall_time is not None:
+        line += f" ({wall_time:.2f}s wall)"
+    print(line)
 
 
-def _build_store(args: argparse.Namespace) -> ResultStore:
+def _build_session(args: argparse.Namespace) -> Session:
     if args.no_cache:
         store = ResultStore.in_memory()
     elif args.cache_dir is not None:
         store = ResultStore(args.cache_dir)
     else:
         store = ResultStore.from_environment()
-    # Point the harness-level default at the same store so figure
-    # functions (which go through the harness) share it.
-    return set_default_store(store)
+    # One session per invocation, installed as the process default so
+    # figure functions (which go through the harness) share it.
+    return set_default_session(
+        Session(store, jobs=args.jobs, settings=_settings(args))
+    )
 
 
 def _settings(args: argparse.Namespace) -> EvaluationSettings:
@@ -127,6 +140,13 @@ def _settings(args: argparse.Namespace) -> EvaluationSettings:
     if args.seed is not None:
         settings = EvaluationSettings(instructions=settings.instructions, seed=args.seed)
     return settings
+
+
+def _parse_variants(texts: Optional[Sequence[str]]) -> Optional[List]:
+    """Parse ``--variants`` values (None passes the defaults through)."""
+    if not texts:
+        return None
+    return [parse_variant(text) for text in texts]
 
 
 def _command_figure(args: argparse.Namespace) -> int:
@@ -143,21 +163,19 @@ def _command_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    store = _build_store(args)
+    session = _build_session(args)
     settings = _settings(args)
     for position, name in enumerate(names):
         if position:
             print()
         handlers[name](settings, args.jobs)
-    _print_cache_summary(store)
+    _print_cache_summary(session)
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     try:
-        variants = (
-            [parse_variant(text) for text in args.variants] if args.variants else None
-        )
+        variants = _parse_variants(args.variants)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -170,22 +188,26 @@ def _command_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    store = _build_store(args)
+    session = _build_session(args)
     settings = _settings(args)
-    spec = ExperimentSpec.create(
-        variants=variants,
-        benchmarks=args.benchmarks or None,
-        seeds=args.seeds or [settings.seed],
-        instructions=settings.instructions,
+    result = session.run(
+        SweepRequest(
+            variants=variants,
+            benchmarks=args.benchmarks or None,
+            seeds=args.seeds or [settings.seed],
+            instructions=settings.instructions,
+        )
     )
-    runner = ParallelRunner(
-        store, jobs=args.jobs if args.jobs is not None else default_jobs()
-    )
-    result = runner.run_spec(spec)
 
-    show_seed = len(spec.seeds) > 1
-    has_base = Variant.BASE in spec.variants
-    header = f"{'variant':<10} {'benchmark':<12}"
+    seeds = {entry.key[2] for entry in result.entries}
+    variant_names = []
+    for entry in result.entries:
+        if entry.key[0] not in variant_names:
+            variant_names.append(entry.key[0])
+    show_seed = len(seeds) > 1
+    has_base = "BASE" in variant_names
+    width = max(10, max(len(name) for name in variant_names))
+    header = f"{'variant':<{width}} {'benchmark':<12}"
     if show_seed:
         header += f" {'seed':>6}"
     header += f" {'instructions':>13} {'cycles':>10} {'CPI':>7}"
@@ -193,22 +215,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
         header += f" {'vs BASE (%)':>12}"
     print(header)
     print("-" * len(header))
-    for request, run in zip(result.requests, result.runs):
-        variant = parse_variant(request.config.name)
-        row = f"{request.config.name:<10} {request.benchmark:<12}"
+    for entry in result.entries:
+        variant_name, benchmark, seed = entry.key
+        run = entry.value
+        row = f"{variant_name:<{width}} {benchmark:<12}"
         if show_seed:
-            row += f" {request.seed:>6}"
+            row += f" {seed:>6}"
         row += f" {run.instructions:>13} {run.cycles:>10} {run.result.cpi:>7.3f}"
         if has_base:
-            if variant is Variant.BASE:
+            if variant_name == "BASE":
                 row += f" {'-':>12}"
             else:
-                overhead = result.overhead_percent(
-                    variant, request.benchmark, request.seed
-                )
+                overhead = result.overhead_percent(variant_name, benchmark, seed)
                 row += f" {overhead:>12.2f}"
         print(row)
-    _print_cache_summary(store)
+    _print_cache_summary(session, result.wall_time_seconds)
     return 0
 
 
@@ -227,44 +248,52 @@ def _command_attack(args: argparse.Namespace) -> int:
             )
             return 2
     try:
-        variants = (
-            [parse_variant(text) for text in args.variants] if args.variants else None
-        )
+        variants = _parse_variants(args.variants)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
-    store = _build_store(args)
+    session = _build_session(args)
     settings = _settings(args)
-    spec = ScenarioSpec.create(
-        scenarios=names,
-        variants=variants,
-        seeds=args.seeds or [settings.seed],
-    )
-    runner = ParallelRunner(
-        store, jobs=args.jobs if args.jobs is not None else default_jobs()
-    )
-    paired = runner.run_scenario_spec(spec)
+    try:
+        result = session.run(
+            ScenarioRequest(
+                scenarios=names,
+                variants=variants,
+                seeds=args.seeds or [settings.seed],
+                num_cores=args.num_cores,
+            )
+        )
+    except (ValueError, ConfigurationError) as error:
+        # ConfigurationError covers machine-size limits discovered at
+        # assembly time (bystander regions, the Section 5.2 MSHR bound).
+        print(str(error), file=sys.stderr)
+        return 2
 
-    show_seed = len(spec.seeds) > 1
-    header = f"{'scenario':<16} {'variant':<10}"
+    seeds = {entry.key[2] for entry in result.entries}
+    show_seed = len(seeds) > 1
+    width = max(10, max(len(entry.key[1]) for entry in result.entries))
+    header = f"{'scenario':<16} {'variant':<{width}}"
     if show_seed:
         header += f" {'seed':>6}"
-    header += f" {'leaked':>8} {'at stake':>9} {'channel':>8}"
+    header += f" {'cores':>6} {'leaked':>8} {'at stake':>9} {'channel':>8}"
     print(header)
     print("-" * len(header))
-    for request, outcome in paired:
-        row = f"{request.scenario:<16} {request.config.name:<10}"
+    for entry in result.entries:
+        scenario, variant_name, seed = entry.key
+        outcome = entry.value
+        row = f"{scenario:<16} {variant_name:<{width}}"
         if show_seed:
-            row += f" {request.seed:>6}"
+            row += f" {seed:>6}"
         row += (
+            f" {outcome.num_cores:>6}"
             f" {outcome.leaked_bits:>8} {outcome.total_bits:>9}"
             f" {'OPEN' if outcome.leaked else 'closed':>8}"
         )
         print(row)
     print()
-    rows = figures.aggregate_leakage_rows(paired)
+    rows = figures.aggregate_leakage_rows(result.outcomes)
     print(format_security_table(figures.SECURITY_TABLE_TITLE, rows))
-    _print_cache_summary(store)
+    _print_cache_summary(session, result.wall_time_seconds)
     return 0
 
 
@@ -272,15 +301,21 @@ def _command_list(_args: argparse.Namespace) -> int:
     print("figures:")
     for name in sorted(_figure_handlers()):
         print(f"  {name}")
-    print("variants:")
-    for variant in all_variants():
-        print(f"  {variant.value}")
+    print("mitigations (compose freely with '+', e.g. FLUSH+MISS):")
+    for mitigation in known_mitigations():
+        alias = f" ({mitigation.alias})" if mitigation.alias else ""
+        print(f"  {mitigation.name:<8}{alias:<5} {mitigation.description}")
+    print("named variants:")
+    for name, members in known_compositions().items():
+        spelled = "+".join(members) if members else "no mitigations"
+        print(f"  {name:<10} = {spelled}")
     print("benchmarks:")
     for name in benchmark_names():
         print(f"  {name}")
     print("scenarios:")
-    for name in scenario_names():
-        print(f"  {name:<16} {scenario_description(name)}")
+    session = Session(ResultStore.in_memory())
+    for name, description in session.scenarios().items():
+        print(f"  {name:<16} {description}")
     return 0
 
 
@@ -338,7 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a custom variants x benchmarks x seeds sweep"
     )
     sweep.add_argument(
-        "--variants", nargs="+", default=None, help="variant names (default: all seven)"
+        "--variants",
+        nargs="+",
+        default=None,
+        help="mitigation specs, e.g. BASE FLUSH+MISS F+P+M+A (default: the paper's seven)",
     )
     sweep.add_argument(
         "--benchmarks", nargs="+", default=None, help="benchmark names (default: all eleven)"
@@ -363,15 +401,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--variants",
         nargs="+",
         default=None,
-        help="variant names (default: BASE and F+P+M+A)",
+        help="mitigation specs, e.g. BASE FLUSH+MISS (default: BASE and F+P+M+A)",
     )
     attack.add_argument(
         "--seeds", nargs="+", type=int, default=None, help="seeds (default: the sweep seed)"
     )
+    attack.add_argument(
+        "--num-cores",
+        type=int,
+        default=2,
+        help="machine size; cores beyond attacker+victim host bystander domains (default 2)",
+    )
     _add_common_arguments(attack, instructions=False)
     attack.set_defaults(handler=_command_attack)
 
-    listing = subparsers.add_parser("list", help="list figures, variants, benchmarks")
+    listing = subparsers.add_parser(
+        "list", help="list figures, mitigations, benchmarks, scenarios"
+    )
     listing.set_defaults(handler=_command_list)
 
     return parser

@@ -8,8 +8,13 @@ This package layers the MI6 mechanisms on top of the RiscyOO substrate:
   DRAM-region access bitvector (Section 5.3);
 * :mod:`repro.core.purge` — the ``purge`` instruction: what it scrubs, how
   long it stalls, and the indistinguishability audit (Section 6.1);
+* :mod:`repro.core.mitigations` — the composable mitigation registry:
+  each defence is a registered config transform, arbitrary combinations
+  (``FLUSH+MISS``) are first-class, and the paper's named variants are
+  declared compositions;
 * :mod:`repro.core.variants` — the seven evaluation variants of Section 7
-  (BASE, FLUSH, PART, MISS, ARB, NONSPEC, F+P+M+A);
+  (BASE, FLUSH, PART, MISS, ARB, NONSPEC, F+P+M+A) as a compatibility
+  layer over the registry;
 * :mod:`repro.core.processor` — :class:`MI6Processor`, the single-core
   evaluation vehicle that runs synthetic workloads under a chosen variant;
 * :mod:`repro.core.simulator` — :class:`Simulator`, the facade that
@@ -22,6 +27,19 @@ This package layers the MI6 mechanisms on top of the RiscyOO substrate:
 """
 
 from repro.core.config import MI6Config
+from repro.core.mitigations import (
+    Mitigation,
+    MitigationSet,
+    VariantLike,
+    as_spec,
+    config_for_spec,
+    known_compositions,
+    known_mitigations,
+    parse_spec,
+    register_composition,
+    register_mitigation,
+    spec_name,
+)
 from repro.core.isolation import (
     llc_sets_disjoint,
     timing_independence_report,
@@ -49,14 +67,25 @@ from repro.core.variants import (
 __all__ = [
     "MI6Config",
     "MI6Processor",
+    "Mitigation",
+    "MitigationSet",
     "ProtectionDomain",
     "PurgeResult",
     "PurgeUnit",
     "RegionBitvector",
     "Simulator",
     "Variant",
+    "VariantLike",
     "WorkloadRun",
+    "as_spec",
     "config_digest",
+    "config_for_spec",
+    "known_compositions",
+    "known_mitigations",
+    "parse_spec",
+    "register_composition",
+    "register_mitigation",
+    "spec_name",
     "config_for_variant",
     "config_from_dict",
     "config_to_dict",

@@ -116,13 +116,23 @@ def run_cache_key(
     )
 
 
-def scenario_cache_key(scenario: str, config: MI6Config, seed: int) -> str:
+def scenario_cache_key(
+    scenario: str, config: MI6Config, seed: int, *, num_cores: int = 2
+) -> str:
     """Canonical cache key for one security-scenario run.
 
     Mirrors :func:`run_cache_key`: the digest covers the complete machine
     configuration, so a scenario outcome cached for one variant can never
     be returned for another.  The ``kind`` discriminator keeps scenario
     keys disjoint from benchmark-run keys even for identical configs.
+
+    ``num_cores`` is the *machine* core count the scenario co-schedules
+    on (distinct from ``config.num_cores``, the conceptual 16-core
+    arithmetic).  Adding it to the digest also retired every pre-seeded
+    scenario key: scenario machines now take their RNG seed from the
+    scenario seed (it was hardwired to 7), which changes outcomes for
+    what would otherwise be the same key.  Benchmark-run keys are
+    untouched by either change.
     """
     return _digest(
         {
@@ -131,6 +141,7 @@ def scenario_cache_key(scenario: str, config: MI6Config, seed: int) -> str:
             "scenario": scenario,
             "config": config_to_dict(config),
             "seed": seed,
+            "num_cores": num_cores,
         }
     )
 

@@ -19,6 +19,14 @@ independent and reproducible regardless of the order in which they are
 issued — the property the experiment engine's serial/parallel equivalence
 guarantee rests on.  Pass ``fresh_machine=False`` to reuse one machine
 across runs (warm-hierarchy experiments).
+
+.. deprecated::
+    New code should go through :class:`repro.api.Session`, which runs the
+    same simulations through the result store (warm-start, provenance)
+    and accepts arbitrary mitigation combinations.  ``Simulator`` remains
+    as a thin assembly facade — the engine's ``execute_request`` and the
+    purge/property tests still build machines through it — but it caches
+    nothing and knows nothing about the store.
 """
 
 from __future__ import annotations
@@ -86,6 +94,17 @@ class Simulator:
         if fresh_machine:
             processor = self.build_processor(seed=seed)
         else:
+            if seed is not None and seed != self.seed:
+                # The reused machine was assembled with the simulator
+                # seed; honouring a different per-run seed only for the
+                # workload generator (but not the machine RNGs) would
+                # silently produce numbers from a seed mixture no other
+                # path can reproduce.
+                raise ValueError(
+                    f"per-run seed {seed} conflicts with the reused machine's "
+                    f"seed {self.seed}; use fresh_machine=True for per-run "
+                    "seed overrides, or construct a Simulator with that seed"
+                )
             if self._machine is None:
                 self._machine = self.build_processor()
             processor = self._machine

@@ -1,41 +1,68 @@
-"""The seven evaluation variants of Section 7.
+"""The seven evaluation variants of Section 7 — legacy compatibility layer.
 
-The paper prototypes seven processors on AWS F1 FPGAs; this module builds
-the equivalent :class:`~repro.core.config.MI6Config` for each:
+The paper prototypes seven processors on AWS F1 FPGAs.  Historically this
+module built each one with a closed ``if``-chain; the variants are now
+*declared compositions* over the composable mitigation registry of
+:mod:`repro.core.mitigations`, and this module is a thin compatibility
+layer kept so existing call sites, tests, and cached results continue to
+work unchanged:
 
 =========  ==========================================================
-Variant    Meaning
+Variant    Composition
 =========  ==========================================================
-BASE       Insecure baseline RiscyOO (Figure 4 parameters).
-FLUSH      BASE + purge of per-core microarchitectural state on every
-           context switch (Section 7.1).
-PART       BASE + LLC set partitioning via the DRAM-region index
-           function (Section 7.2).
-MISS       BASE + LLC MSHR partitioning and sizing, modelled as 12
-           MSHRs in 4 banks with pessimistic whole-file stalls
-           (Section 7.3).
-ARB        BASE + the round-robin LLC pipeline arbiter, modelled as 8
-           extra cycles of LLC latency for a 16-core machine
-           (Section 7.4).
-NONSPEC    BASE with memory instructions executed non-speculatively
-           (Section 7.5) — the machine-mode execution regime of the
-           security monitor.
-F_P_M_A    FLUSH + PART + MISS + ARB: the enclave steady-state cost
-           (Section 7.6, Figure 13).
+BASE       (no mitigations) Insecure baseline RiscyOO (Figure 4).
+FLUSH      {FLUSH} — purge per-core state on every context switch.
+PART       {PART} — LLC set partitioning via the DRAM-region index.
+MISS       {MISS} — LLC MSHR partitioning and sizing.
+ARB        {ARB} — round-robin LLC pipeline arbiter.
+NONSPEC    {NONSPEC} — memory instructions execute non-speculatively.
+F_P_M_A    {FLUSH, PART, MISS, ARB} — enclave steady-state cost.
 =========  ==========================================================
+
+For every variant the composed configuration is field-for-field identical
+to what the old enum path produced, so content-hash cache keys are
+unchanged.  New code should prefer mitigation specs
+(:func:`~repro.core.mitigations.parse_spec`,
+:class:`~repro.core.mitigations.MitigationSet`) — they express the full
+2^5 combination lattice, of which these seven are just the paper's picks.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from enum import Enum
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from repro.core.config import MI6Config
+from repro.core.mitigations import (
+    MitigationSet,
+    VariantLike,
+    as_spec,
+    config_for_spec,
+    parse_spec,
+    spec_name,
+)
+
+__all__ = [
+    "MitigationSet",
+    "Variant",
+    "VariantLike",
+    "all_variants",
+    "as_spec",
+    "config_for_variant",
+    "parse_variant",
+    "spec_name",
+    "variant_description",
+]
 
 
 class Variant(Enum):
-    """Evaluation variants of the RiscyOO/MI6 processor."""
+    """Evaluation variants of the RiscyOO/MI6 processor (the paper's seven).
+
+    Deprecated in favour of mitigation specs: any member is accepted
+    wherever a :data:`~repro.core.mitigations.VariantLike` is, and
+    converts to its composed :class:`MitigationSet` via
+    :func:`~repro.core.mitigations.as_spec`.
+    """
 
     BASE = "BASE"
     FLUSH = "FLUSH"
@@ -46,20 +73,16 @@ class Variant(Enum):
     F_P_M_A = "F+P+M+A"
 
 
-_DESCRIPTIONS: Dict[Variant, str] = {
-    Variant.BASE: "insecure baseline RiscyOO processor",
-    Variant.FLUSH: "flush per-core microarchitectural state on every context switch",
-    Variant.PART: "set-partition the LLC with the DRAM-region index function",
-    Variant.MISS: "partition and size the LLC MSHRs (12 entries, 4 banks)",
-    Variant.ARB: "round-robin LLC pipeline arbiter (+N/2 cycles of latency)",
-    Variant.NONSPEC: "execute memory instructions non-speculatively",
-    Variant.F_P_M_A: "FLUSH + PART + MISS + ARB: full enclave steady-state cost",
-}
+#: Canonical spec name -> legacy enum member (for parse compatibility).
+_BY_NAME: Dict[str, Variant] = {variant.value: variant for variant in Variant}
 
 
-def variant_description(variant: Variant) -> str:
-    """One-line description of an evaluation variant."""
-    return _DESCRIPTIONS[variant]
+def variant_description(variant: VariantLike) -> str:
+    """One-line description of a variant or mitigation combination."""
+    spec = as_spec(variant)
+    if spec.name == "F+P+M+A":
+        return "FLUSH + PART + MISS + ARB: full enclave steady-state cost"
+    return spec.describe()
 
 
 def all_variants() -> List[Variant]:
@@ -75,48 +98,32 @@ def all_variants() -> List[Variant]:
     ]
 
 
-def parse_variant(text: str) -> Variant:
-    """Parse a variant from user input (CLI flags, config files).
+def parse_variant(text: str) -> Union[Variant, MitigationSet]:
+    """Parse a variant spec from user input (CLI flags, config files).
 
     Accepts the enum name (``F_P_M_A``), the paper spelling
-    (``F+P+M+A``), or either in any case.
+    (``F+P+M+A``), either in any case — and, beyond the paper's seven,
+    *any* mitigation combination (``FLUSH+MISS``, ``part+arb+nonspec``).
+    Returns the legacy :class:`Variant` member when the spec names one of
+    the seven paper variants (so existing ``is``-comparisons keep
+    working) and a :class:`MitigationSet` for every other combination;
+    both are :data:`~repro.core.mitigations.VariantLike` and flow through
+    the engine, CLI, and Session API identically.
     """
-    normalized = text.strip().upper()
-    for variant in Variant:
-        if normalized in (variant.name, variant.value.upper()):
-            return variant
-    valid = ", ".join(variant.value for variant in Variant)
-    raise ValueError(f"unknown variant {text!r} (expected one of: {valid})")
+    spec = parse_spec(text)
+    return _BY_NAME.get(spec.name, spec)
 
 
-def config_for_variant(variant: Variant, base: MI6Config | None = None) -> MI6Config:
-    """Build the machine configuration for an evaluation variant.
+def config_for_variant(variant: VariantLike, base: MI6Config | None = None) -> MI6Config:
+    """Build the machine configuration for a variant (deprecated shim).
+
+    Thin wrapper over :func:`~repro.core.mitigations.config_for_spec`;
+    kept because the enum-era call sites and the content-hash cache keys
+    of every previously stored result flow through it.
 
     Args:
-        variant: Which Section 7 variant to build.
+        variant: Which variant (enum member, spec string, or set) to build.
         base: Optional starting configuration (Figure 4 defaults if
             omitted); useful for scaled-down test configurations.
     """
-    config = base or MI6Config()
-    config = replace(config, name=variant.value)
-    if variant is Variant.BASE:
-        return config
-    if variant is Variant.FLUSH:
-        return replace(config, flush_on_context_switch=True)
-    if variant is Variant.PART:
-        return replace(config, set_partition_llc=True)
-    if variant is Variant.MISS:
-        return replace(config, partition_mshrs=True)
-    if variant is Variant.ARB:
-        return replace(config, llc_arbiter=True)
-    if variant is Variant.NONSPEC:
-        return replace(config, nonspec_memory=True)
-    if variant is Variant.F_P_M_A:
-        return replace(
-            config,
-            flush_on_context_switch=True,
-            set_partition_llc=True,
-            partition_mshrs=True,
-            llc_arbiter=True,
-        )
-    raise ValueError(f"unknown variant {variant!r}")
+    return config_for_spec(variant, base)

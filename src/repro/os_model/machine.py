@@ -59,19 +59,30 @@ class CoreComplex:
         return result.stall_cycles
 
 
+#: Machine seed used when none is given (kept at the historical value so
+#: machines built without an explicit seed behave exactly as before).
+DEFAULT_MACHINE_SEED = 7
+
+
 @dataclass
 class Machine:
-    """A small multiprocessor: N cores, one LLC, one DRAM controller."""
+    """A small multiprocessor: N cores, one LLC, one DRAM controller.
+
+    ``seed`` feeds the shared LLC's replacement RNG and each core's
+    hierarchy RNG, so experiments that sweep seeds actually perturb the
+    machine's stochastic state (it was hardwired to 7 for years).
+    """
 
     config: MI6Config
     num_cores: int = 2
+    seed: int = DEFAULT_MACHINE_SEED
     stats: StatsRegistry = field(default_factory=StatsRegistry)
     cores: List[CoreComplex] = field(default_factory=list)
     llc: LastLevelCache = field(init=False)
     dram: DramController = field(init=False)
 
     def __post_init__(self) -> None:
-        rng = DeterministicRng(7)
+        rng = DeterministicRng(self.seed)
         self.dram = DramController(self.config.dram, stats=self.stats)
         self.llc = LastLevelCache(
             self.config.effective_llc_config(),
