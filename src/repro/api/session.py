@@ -40,7 +40,6 @@ from repro.attacks.scenarios import scenario_description, scenario_names
 from repro.core.mitigations import (
     Mitigation,
     VariantLike,
-    as_spec,
     config_for_spec,
     known_compositions,
     known_mitigations,

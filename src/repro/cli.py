@@ -1,4 +1,4 @@
-"""repro-bench: run paper figures and custom sweeps from the command line.
+"""repro-bench: run paper figures, custom sweeps, and perf checks.
 
 Examples::
 
@@ -6,10 +6,12 @@ Examples::
     repro-bench figure all --instructions 10000
     repro-bench sweep --variants BASE F+P+M+A --benchmarks gcc mcf --jobs 4
     repro-bench sweep --variants FLUSH+MISS PART+ARB+NONSPEC --benchmarks astar
-    repro-bench sweep --seeds 2019 2020 2021 --benchmarks astar
+    repro-bench sweep --seeds 2019 2020 2021 --benchmarks astar --json
     repro-bench attack
     repro-bench attack prime_probe contention --variants BASE PART --jobs 2
     repro-bench attack --num-cores 4 --variants BASE FLUSH+MISS
+    repro-bench perf
+    repro-bench perf --instructions 20000 --baseline benchmarks/perf_baseline.json
     repro-bench list
 
 Variants are mitigation specs: any ``+``-combination of FLUSH, PART,
@@ -25,6 +27,7 @@ store or ``--cache-dir`` to relocate it.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -42,6 +45,15 @@ from repro.attacks.scenarios import scenario_names
 from repro.common.errors import ConfigurationError
 from repro.core.mitigations import known_compositions, known_mitigations
 from repro.core.variants import parse_variant
+from repro.perf import (
+    DEFAULT_SUITE_INSTRUCTIONS,
+    PINNED_SEED,
+    BenchRecorder,
+    calibration_score,
+    compare_to_baseline,
+    load_bench,
+    run_suite,
+)
 from repro.workloads.spec_cint2006 import benchmark_names
 
 #: Figure name -> callable printing that figure's tables.
@@ -116,6 +128,19 @@ def _print_cache_summary(session: Session, wall_time: Optional[float] = None) ->
     if wall_time is not None:
         line += f" ({wall_time:.2f}s wall)"
     print(line)
+
+
+def _cache_summary_dict(session: Session, wall_time: Optional[float] = None) -> Dict:
+    """Machine-readable counterpart of :func:`_print_cache_summary`."""
+    store = session.store
+    summary: Dict = {
+        "runs_simulated": store.misses,
+        "warm_from_disk": store.disk_hits,
+        "reused_in_memory": store.memory_hits,
+    }
+    if wall_time is not None:
+        summary["wall_seconds"] = wall_time
+    return summary
 
 
 def _build_session(args: argparse.Namespace) -> Session:
@@ -199,6 +224,35 @@ def _command_sweep(args: argparse.Namespace) -> int:
         )
     )
 
+    if args.json:
+        entries = []
+        for entry in result.entries:
+            variant_name, benchmark, seed = entry.key
+            run = entry.value
+            row = {
+                "variant": variant_name,
+                "benchmark": benchmark,
+                "seed": seed,
+                "instructions": run.instructions,
+                "cycles": run.cycles,
+                "cpi": run.result.cpi,
+                "cache_key": entry.provenance.cache_key,
+                "origin": entry.provenance.origin,
+            }
+            entries.append(row)
+        print(
+            json.dumps(
+                {
+                    "command": "sweep",
+                    "entries": entries,
+                    "cache": _cache_summary_dict(session, result.wall_time_seconds),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
     seeds = {entry.key[2] for entry in result.entries}
     variant_names = []
     for entry in result.entries:
@@ -269,6 +323,37 @@ def _command_attack(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 2
 
+    if args.json:
+        entries = []
+        for entry in result.entries:
+            scenario, variant_name, seed = entry.key
+            outcome = entry.value
+            entries.append(
+                {
+                    "scenario": scenario,
+                    "variant": variant_name,
+                    "seed": seed,
+                    "num_cores": outcome.num_cores,
+                    "leaked_bits": outcome.leaked_bits,
+                    "total_bits": outcome.total_bits,
+                    "leaked": outcome.leaked,
+                    "cache_key": entry.provenance.cache_key,
+                    "origin": entry.provenance.origin,
+                }
+            )
+        print(
+            json.dumps(
+                {
+                    "command": "attack",
+                    "entries": entries,
+                    "cache": _cache_summary_dict(session, result.wall_time_seconds),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
     seeds = {entry.key[2] for entry in result.entries}
     show_seed = len(seeds) > 1
     width = max(10, max(len(entry.key[1]) for entry in result.entries))
@@ -294,6 +379,86 @@ def _command_attack(args: argparse.Namespace) -> int:
     rows = figures.aggregate_leakage_rows(result.outcomes)
     print(format_security_table(figures.SECURITY_TABLE_TITLE, rows))
     _print_cache_summary(session, result.wall_time_seconds)
+    return 0
+
+
+def _command_perf(args: argparse.Namespace) -> int:
+    result = run_suite(
+        instructions=args.instructions, seed=args.seed, components=args.components
+    )
+    recorder = BenchRecorder(args.output_dir)
+    record = recorder.build_record(result, calibration=calibration_score())
+    record_path = None
+    if not args.no_record:
+        # The printed/diffed record and the written file are the same
+        # document (same date, same git SHA).
+        record_path = recorder.write(record=record)
+
+    comparison = None
+    if args.baseline is not None:
+        try:
+            baseline = load_bench(args.baseline)
+            comparison = compare_to_baseline(
+                record, baseline, max_regression=args.max_regression / 100.0
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"cannot compare against {args.baseline}: {error}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        document = dict(record)
+        if record_path is not None:
+            document["record_path"] = str(record_path)
+        if comparison is not None:
+            document["baseline"] = {
+                "path": str(args.baseline),
+                "ratio": comparison.ratio,
+                "raw_ratio": comparison.raw_ratio,
+                "max_regression_percent": args.max_regression,
+                "regressed": comparison.regressed,
+            }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            f"repro perf — pinned suite, {result.instructions} instructions/run, "
+            f"seed {result.seed}"
+        )
+        header = f"{'variant':<12} {'benchmark':<12} {'instructions':>13} {'cycles':>10} {'wall(s)':>8} {'instr/s':>9}"
+        print(header)
+        print("-" * len(header))
+        for measurement in result.measurements:
+            report = measurement.report
+            print(
+                f"{measurement.variant:<12} {measurement.benchmark:<12}"
+                f" {report.instructions:>13} {report.cycles:>10}"
+                f" {report.wall_seconds:>8.3f} {report.instructions_per_second:>9.0f}"
+            )
+            if report.component_shares:
+                shares = ", ".join(
+                    f"{component} {share:.0%}"
+                    for component, share in report.component_shares.items()
+                )
+                print(f"{'':<12} time shares: {shares}")
+        aggregate = record["aggregate"]
+        print(
+            f"\naggregate: {aggregate['instructions_per_second']:.0f} instr/s, "
+            f"{aggregate['cycles_per_second']:.0f} cycles/s, "
+            f"calibration {record['calibration_mops']:.1f} Mops, "
+            f"normalized {aggregate['normalized_throughput']:.1f}"
+        )
+        if record["slow_path"]:
+            print("note: REPRO_SLOW_PATH is active (reference kernel)")
+        if record_path is not None:
+            print(f"wrote {record_path}")
+        if comparison is not None:
+            verdict = "REGRESSED" if comparison.regressed else "ok"
+            print(
+                f"baseline {args.baseline}: {comparison.ratio:.2f}x normalized "
+                f"({comparison.raw_ratio:.2f}x raw), "
+                f"gate -{args.max_regression:.0f}% -> {verdict}"
+            )
+    if comparison is not None and comparison.regressed:
+        return 1
     return 0
 
 
@@ -384,6 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--seeds", nargs="+", type=int, default=None, help="seeds (default: one, the sweep seed)"
     )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="print entries and the cache summary as JSON (for CI and scripts)",
+    )
     _add_common_arguments(sweep)
     sweep.set_defaults(handler=_command_sweep)
 
@@ -412,8 +582,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="machine size; cores beyond attacker+victim host bystander domains (default 2)",
     )
+    attack.add_argument(
+        "--json",
+        action="store_true",
+        help="print entries and the cache summary as JSON (for CI and scripts)",
+    )
     _add_common_arguments(attack, instructions=False)
     attack.set_defaults(handler=_command_attack)
+
+    perf = subparsers.add_parser(
+        "perf",
+        help="measure simulator throughput on the pinned suite and record a BENCH file",
+    )
+    perf.add_argument(
+        "--instructions",
+        type=int,
+        default=DEFAULT_SUITE_INSTRUCTIONS,
+        help=f"instructions per suite run (default {DEFAULT_SUITE_INSTRUCTIONS})",
+    )
+    perf.add_argument(
+        "--seed", type=int, default=PINNED_SEED, help=f"suite seed (default {PINNED_SEED})"
+    )
+    perf.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="BENCH_*.json to diff against; exits 1 on a regression",
+    )
+    perf.add_argument(
+        "--max-regression",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="allowed normalized-throughput drop vs the baseline (default 20%%)",
+    )
+    perf.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory the BENCH_<date>.json record is written to (default .)",
+    )
+    perf.add_argument(
+        "--no-record", action="store_true", help="measure only; write no BENCH file"
+    )
+    perf.add_argument(
+        "--components",
+        action="store_true",
+        help="also profile per-component time shares (slower: one extra run each)",
+    )
+    perf.add_argument(
+        "--json",
+        action="store_true",
+        help="print the BENCH record (and baseline diff) as JSON",
+    )
+    perf.set_defaults(handler=_command_perf)
 
     listing = subparsers.add_parser(
         "list", help="list figures, mitigations, benchmarks, scenarios"

@@ -1,0 +1,34 @@
+"""Fast-path/slow-path selection for the simulator kernel.
+
+The hot loops of the timing model (:mod:`repro.ooo.core`, the memory
+hierarchy, the workload generator) ship two implementations:
+
+* the **fast path** — the default: identical semantics with per-access
+  allocations removed, attribute lookups hoisted, and counter handles
+  cached.  Its statistics and cycle counts are bit-identical to the slow
+  path; the equivalence suite (``tests/test_fastpath.py``) enforces this
+  across every paper variant.
+* the **slow path** — the original, straight-line reference
+  implementation, kept behind the ``REPRO_SLOW_PATH=1`` escape hatch for
+  debugging and for the equivalence tests themselves.
+
+The environment variable is read per run (not at import time), so tests
+can flip it with ``monkeypatch.setenv`` and worker processes inherit it
+through the environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the reference implementation.
+SLOW_PATH_ENV_VAR = "REPRO_SLOW_PATH"
+
+
+def slow_path_enabled() -> bool:
+    """True when ``REPRO_SLOW_PATH`` asks for the reference implementation.
+
+    Any non-empty value other than ``0`` enables the slow path.
+    """
+    value = os.environ.get(SLOW_PATH_ENV_VAR, "")
+    return value not in ("", "0")

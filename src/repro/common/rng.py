@@ -11,7 +11,9 @@ relies on.
 from __future__ import annotations
 
 import random
-from typing import Sequence, TypeVar
+from bisect import bisect
+from itertools import accumulate
+from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -84,6 +86,31 @@ class DeterministicRng:
     def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
         """Pick one element of ``items`` with the given relative weights."""
         return self._random.choices(items, weights=weights, k=1)[0]
+
+    def weighted_picker(self, items: Sequence[T], weights: Sequence[float]) -> Callable[[], T]:
+        """A zero-argument callable equivalent to repeated :meth:`weighted_choice`.
+
+        Precomputes the cumulative weights once and replicates
+        ``random.choices`` draw-for-draw (one ``random()`` call per pick,
+        same bisection), so a stream produced through the picker is
+        bit-identical to one produced through :meth:`weighted_choice` —
+        just without rebuilding the cumulative table on every call.  The
+        workload generator uses this on its per-instruction mix draw.
+        """
+        population = list(items)
+        cum_weights = list(accumulate(weights))
+        if len(cum_weights) != len(population):
+            raise ValueError("weights must match items")
+        total = cum_weights[-1] + 0.0
+        if total <= 0.0:
+            raise ValueError("total of weights must be greater than zero")
+        hi = len(population) - 1
+        random_draw = self._random.random
+
+        def pick() -> T:
+            return population[bisect(cum_weights, random_draw() * total, 0, hi)]
+
+        return pick
 
     def geometric(self, mean: float) -> int:
         """Geometric-like positive integer with the requested mean.

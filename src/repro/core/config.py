@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigurationError
-from repro.mem.address import AddressMap, CacheGeometry, IndexFunction
+from repro.mem.address import AddressMap, IndexFunction
 from repro.mem.dram import DramConfig
 from repro.mem.llc import LlcConfig
 from repro.mem.mshr import MshrConfig

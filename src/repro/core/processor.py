@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.common.fastpath import slow_path_enabled
 from repro.common.rng import DeterministicRng
 from repro.common.stats import StatsRegistry
 from repro.core.config import MI6Config
@@ -153,11 +154,25 @@ class MI6Processor:
         synthetic generator's reuse-distance draws assume the same; this
         touches the pre-populated line history once and then clears the
         statistics so the measured interval starts from steady state.
+
+        Warm-up is the simulator's fast-forward region: every latency it
+        computes is discarded and every counter it bumps is reset below,
+        so the fast path primes through the hierarchy's timing accessors
+        (identical state/statistics effects, no per-access records).  The
+        ``REPRO_SLOW_PATH`` escape hatch keeps the original accessors.
         """
-        for virtual_address in workload.warmup_addresses():
-            self.hierarchy.data_access(virtual_address)
-        for virtual_address in workload.warmup_code_addresses():
-            self.hierarchy.fetch_access(virtual_address)
+        if slow_path_enabled():
+            for virtual_address in workload.warmup_addresses():
+                self.hierarchy.data_access(virtual_address)
+            for virtual_address in workload.warmup_code_addresses():
+                self.hierarchy.fetch_access(virtual_address)
+        else:
+            data_access_timing = self.hierarchy.data_access_timing
+            for virtual_address in workload.warmup_addresses():
+                data_access_timing(virtual_address)
+            fetch_access_timing = self.hierarchy.fetch_access_timing
+            for virtual_address in workload.warmup_code_addresses():
+                fetch_access_timing(virtual_address)
         self.stats.reset()
 
     def run_workload(

@@ -31,6 +31,12 @@ class RegionBitvector:
         self.address_map = address_map
         self._bits = 0
         self._stats = stats or StatsRegistry()
+        # Hot-path constants and lazily cached counter handles: the check
+        # runs on every physical access the hierarchy emits.
+        self._dram_bytes = address_map.dram_bytes
+        self._region_bytes = address_map.region_bytes
+        self._c_out_of_dram: Optional[object] = None
+        self._c_denied: Optional[object] = None
 
     @property
     def value(self) -> int:
@@ -68,14 +74,19 @@ class RegionBitvector:
         predicate is what the memory hierarchy consults before touching
         any cache or DRAM state.
         """
-        if not self.address_map.contains(physical_address):
-            self._stats.counter("protection.out_of_dram").increment()
+        if physical_address < 0 or physical_address >= self._dram_bytes:
+            counter = self._c_out_of_dram
+            if counter is None:
+                counter = self._c_out_of_dram = self._stats.counter("protection.out_of_dram")
+            counter.value += 1
             return False
-        region = self.address_map.region_of(physical_address)
-        allowed = bool(self._bits & (1 << region))
-        if not allowed:
-            self._stats.counter("protection.denied").increment()
-        return allowed
+        if self._bits & (1 << (physical_address // self._region_bytes)):
+            return True
+        counter = self._c_denied
+        if counter is None:
+            counter = self._c_denied = self._stats.counter("protection.denied")
+        counter.value += 1
+        return False
 
     def check_or_fault(self, physical_address: int) -> None:
         """Raise :class:`ProtectionFault` for a non-speculative violation."""

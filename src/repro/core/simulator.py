@@ -20,6 +20,14 @@ issued — the property the experiment engine's serial/parallel equivalence
 guarantee rests on.  Pass ``fresh_machine=False`` to reuse one machine
 across runs (warm-hierarchy experiments).
 
+Execution goes through the fast simulator kernel by default: warm-up is
+fast-forwarded through the hierarchy's timing accessors (its latencies
+are discarded anyway) and the measured interval runs the optimized stage
+loop.  Setting ``REPRO_SLOW_PATH=1`` (:mod:`repro.common.fastpath`)
+routes both through the original reference implementations instead;
+results are bit-identical either way, which ``tests/test_fastpath.py``
+enforces and ``python -m repro perf`` quantifies.
+
 .. deprecated::
     New code should go through :class:`repro.api.Session`, which runs the
     same simulations through the result store (warm-start, provenance)

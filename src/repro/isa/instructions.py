@@ -80,7 +80,7 @@ NO_REGISTER = -1
 ARCH_REGISTER_COUNT = 32
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One abstract dynamic instruction.
 

@@ -48,25 +48,32 @@ class CacheGeometry:
                 raise ConfigurationError(f"cache geometry field {name} must be a power of two")
         if self.size_bytes < self.ways * self.line_bytes:
             raise ConfigurationError("cache smaller than a single set")
+        # Derived values are consulted on every cache access; compute them
+        # once here instead of re-deriving logarithms per lookup.  They are
+        # not dataclass fields, so serialisation and equality are untouched.
+        num_sets = self.size_bytes // (self.ways * self.line_bytes)
+        object.__setattr__(self, "_num_sets", num_sets)
+        object.__setattr__(self, "_offset_bits", _log2(self.line_bytes))
+        object.__setattr__(self, "_index_bits", _log2(num_sets))
 
     @property
     def num_sets(self) -> int:
         """Number of sets."""
-        return self.size_bytes // (self.ways * self.line_bytes)
+        return self._num_sets
 
     @property
     def offset_bits(self) -> int:
         """Number of line-offset bits."""
-        return _log2(self.line_bytes)
+        return self._offset_bits
 
     @property
     def index_bits(self) -> int:
         """Number of set-index bits."""
-        return _log2(self.num_sets)
+        return self._index_bits
 
     def line_address(self, address: int) -> int:
         """Cache-line address (the physical address without the offset)."""
-        return address >> self.offset_bits
+        return address >> self._offset_bits
 
 
 class IndexFunction(Enum):
@@ -170,6 +177,16 @@ class LlcIndexer:
         self._address_map = address_map
         self._index_function = index_function
         self._region_index_bits = region_index_bits
+        # Precomputed shifts and masks: set_index is called on every LLC
+        # access, so the decomposition must not re-derive anything.
+        self._offset_bits = geometry.offset_bits
+        self._set_mask = geometry.num_sets - 1
+        self._baseline = index_function is IndexFunction.BASELINE
+        self._low_bits = geometry.index_bits - region_index_bits
+        self._low_mask = (1 << self._low_bits) - 1
+        self._region_mask = (1 << region_index_bits) - 1
+        self._region_bytes = address_map.region_bytes
+        self._dram_bytes = address_map.dram_bytes
 
     @property
     def index_function(self) -> IndexFunction:
@@ -183,14 +200,15 @@ class LlcIndexer:
 
     def set_index(self, physical_address: int) -> int:
         """Set index for a physical address."""
-        line = self._geometry.line_address(physical_address)
-        if self._index_function is IndexFunction.BASELINE:
-            return line & (self._geometry.num_sets - 1)
-        low_bits = self._geometry.index_bits - self._region_index_bits
-        region = self._address_map.region_of(physical_address)
-        region_part = region & ((1 << self._region_index_bits) - 1)
-        return (region_part << low_bits) | (line & ((1 << low_bits) - 1))
+        line = physical_address >> self._offset_bits
+        if self._baseline:
+            return line & self._set_mask
+        if physical_address < 0 or physical_address >= self._dram_bytes:
+            # Delegate to the address map for its canonical error message.
+            self._address_map.region_of(physical_address)
+        region_part = (physical_address // self._region_bytes) & self._region_mask
+        return (region_part << self._low_bits) | (line & self._low_mask)
 
     def tag(self, physical_address: int) -> int:
         """Tag stored for a physical address (everything above the line offset)."""
-        return self._geometry.line_address(physical_address)
+        return physical_address >> self._offset_bits

@@ -7,6 +7,14 @@ domain ID) is not something real hardware stores; it exists so the
 isolation checkers and the attack models can ask "whose line did this
 access evict?" — exactly the information a prime+probe attacker recovers
 through timing.
+
+This module sits on the simulator's hottest path (every instruction fetch
+and data access lands here), so the access machinery avoids per-access
+allocations: counter handles are cached after first use (registration
+stays lazy, so the set of counters a run reports is unchanged), the
+index/tag decomposition is a precomputed shift-and-mask, and the internal
+:meth:`SetAssociativeCache.access_parts` returns plain values that the L1
+and LLC wrappers consume without building an :class:`AccessResult`.
 """
 
 from __future__ import annotations
@@ -16,10 +24,10 @@ from typing import Callable, List, Optional
 
 from repro.common.stats import StatsRegistry
 from repro.mem.address import CacheGeometry
-from repro.mem.replacement import ReplacementPolicy, SelfCleaningLruPolicy
+from repro.mem.replacement import PseudoRandomPolicy, ReplacementPolicy, SelfCleaningLruPolicy
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One cache line's bookkeeping state."""
 
@@ -78,12 +86,29 @@ class SetAssociativeCache:
         self.name = name
         self.geometry = geometry
         self._policy = policy
-        self._index_for = index_for or self._default_index
-        self._tag_for = tag_for or geometry.line_address
+        offset_bits = geometry.offset_bits
+        set_mask = geometry.num_sets - 1
+        self._index_for = index_for or (
+            lambda physical_address: (physical_address >> offset_bits) & set_mask
+        )
+        self._tag_for = tag_for or (
+            lambda physical_address: physical_address >> offset_bits
+        )
         self._stats = stats or StatsRegistry()
         self._sets: List[List[CacheLine]] = [
             [CacheLine() for _ in range(geometry.ways)] for _ in range(geometry.num_sets)
         ]
+        # A stateless pseudo-random policy's touch() is a no-op; skipping
+        # the call entirely removes one method dispatch per access.
+        self._touch = None if type(policy) is PseudoRandomPolicy else policy.touch
+        self._victim = policy.victim
+        # Counter handles, populated on first use so the registered set of
+        # counters matches the reference implementation exactly.
+        self._c_access: Optional[object] = None
+        self._c_hit: Optional[object] = None
+        self._c_miss: Optional[object] = None
+        self._c_eviction: Optional[object] = None
+        self._c_writeback: Optional[object] = None
 
     @property
     def stats(self) -> StatsRegistry:
@@ -112,6 +137,74 @@ class SetAssociativeCache:
         tag = self._tag_for(physical_address)
         return any(line.valid and line.tag == tag for line in self._sets[set_index])
 
+    def access_parts(
+        self,
+        physical_address: int,
+        *,
+        is_write: bool = False,
+        owner: Optional[int] = None,
+        allocate: bool = True,
+    ) -> tuple:
+        """Perform an access, allocating on a miss; return plain values.
+
+        Returns ``(hit, set_index, way, evicted_tag, evicted_dirty,
+        evicted_owner)`` — the same information as :meth:`access` without
+        constructing an :class:`AccessResult`.  This is the hot entry
+        point used by the L1 and LLC wrappers.
+        """
+        set_index = self._index_for(physical_address)
+        tag = self._tag_for(physical_address)
+        lines = self._sets[set_index]
+        counter = self._c_access
+        if counter is None:
+            counter = self._c_access = self._stats.counter(f"{self.name}.access")
+        counter.value += 1
+
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                counter = self._c_hit
+                if counter is None:
+                    counter = self._c_hit = self._stats.counter(f"{self.name}.hit")
+                counter.value += 1
+                if self._touch is not None:
+                    self._touch(set_index, way)
+                if is_write:
+                    line.dirty = True
+                if owner is not None:
+                    line.owner = owner
+                return (True, set_index, way, None, False, None)
+
+        counter = self._c_miss
+        if counter is None:
+            counter = self._c_miss = self._stats.counter(f"{self.name}.miss")
+        counter.value += 1
+        if not allocate:
+            return (False, set_index, -1, None, False, None)
+
+        victim_way = self._victim(set_index, [line.valid for line in lines])
+        victim = lines[victim_way]
+        evicted_tag: Optional[int] = None
+        evicted_dirty = False
+        evicted_owner: Optional[int] = None
+        if victim.valid:
+            evicted_tag = victim.tag
+            evicted_dirty = victim.dirty
+            evicted_owner = victim.owner
+            counter = self._c_eviction
+            if counter is None:
+                counter = self._c_eviction = self._stats.counter(f"{self.name}.eviction")
+            counter.value += 1
+            if evicted_dirty:
+                counter = self._c_writeback
+                if counter is None:
+                    counter = self._c_writeback = self._stats.counter(f"{self.name}.writeback")
+                counter.value += 1
+
+        lines[victim_way] = CacheLine(valid=True, tag=tag, dirty=is_write, owner=owner)
+        if self._touch is not None:
+            self._touch(set_index, victim_way)
+        return (False, set_index, victim_way, evicted_tag, evicted_dirty, evicted_owner)
+
     def access(
         self,
         physical_address: int,
@@ -125,45 +218,13 @@ class SetAssociativeCache:
         Returns an :class:`AccessResult` describing the hit/miss and any
         eviction the fill caused.
         """
-        set_index = self._index_for(physical_address)
-        tag = self._tag_for(physical_address)
-        lines = self._sets[set_index]
-        self._stats.counter(f"{self.name}.access").increment()
-
-        for way, line in enumerate(lines):
-            if line.valid and line.tag == tag:
-                self._stats.counter(f"{self.name}.hit").increment()
-                self._policy.touch(set_index, way)
-                if is_write:
-                    line.dirty = True
-                if owner is not None:
-                    line.owner = owner
-                return AccessResult(hit=True, set_index=set_index, way=way)
-
-        self._stats.counter(f"{self.name}.miss").increment()
-        if not allocate:
-            return AccessResult(hit=False, set_index=set_index, way=-1)
-
-        valid_flags = [line.valid for line in lines]
-        victim_way = self._policy.victim(set_index, valid_flags)
-        victim = lines[victim_way]
-        evicted_tag: Optional[int] = None
-        evicted_dirty = False
-        evicted_owner: Optional[int] = None
-        if victim.valid:
-            evicted_tag = victim.tag
-            evicted_dirty = victim.dirty
-            evicted_owner = victim.owner
-            self._stats.counter(f"{self.name}.eviction").increment()
-            if evicted_dirty:
-                self._stats.counter(f"{self.name}.writeback").increment()
-
-        lines[victim_way] = CacheLine(valid=True, tag=tag, dirty=is_write, owner=owner)
-        self._policy.touch(set_index, victim_way)
+        hit, set_index, way, evicted_tag, evicted_dirty, evicted_owner = self.access_parts(
+            physical_address, is_write=is_write, owner=owner, allocate=allocate
+        )
         return AccessResult(
-            hit=False,
+            hit=hit,
             set_index=set_index,
-            way=victim_way,
+            way=way,
             evicted_tag=evicted_tag,
             evicted_dirty=evicted_dirty,
             evicted_owner=evicted_owner,

@@ -7,6 +7,19 @@ translation cache) and references the shared structures (LLC, DRAM
 controller).  Every physical address produced here — including the
 addresses touched by page-table walks — is passed through the protection
 domain's DRAM-region check, mirroring the MI6 hardware of Section 5.3.
+
+Two access surfaces are exposed:
+
+* the descriptive methods (:meth:`MemoryHierarchy.data_access`,
+  :meth:`MemoryHierarchy.fetch_access`) return a full
+  :class:`HierarchyAccess` record — tests, attack models, and the
+  reference (slow-path) core loop use these;
+* the timing methods (:meth:`MemoryHierarchy.data_access_timing`,
+  :meth:`MemoryHierarchy.fetch_access_timing`) perform *identical* state
+  and statistics updates but return only the scalars the fast core loop
+  consumes, skipping the per-access record construction.  They also serve
+  as the warm-up fast-forward: priming runs through them because warm-up
+  discards every latency anyway.
 """
 
 from __future__ import annotations
@@ -14,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.common.errors import ProtectionFault
 from repro.common.rng import DeterministicRng
 from repro.common.stats import StatsRegistry
 from repro.mem.address import AddressMap
@@ -104,6 +116,17 @@ class MemoryHierarchy:
         self.region_allowed: Optional[Callable[[int], bool]] = None
         # Owner label recorded on cache lines (protection-domain id).
         self.owner: Optional[int] = None
+        # Hot-path handles: the L1 tag arrays' access entry points bound
+        # once, and lazily cached counters.
+        self._l1d_access_parts = self.l1d.cache.access_parts
+        self._l1i_access_parts = self.l1i.cache.access_parts
+        self._dram_bytes = address_map.dram_bytes
+        self._c_blocked_accesses: Optional[object] = None
+        self._c_blocked_fetches: Optional[object] = None
+        self._c_page_faults: Optional[object] = None
+        self._c_instruction_page_faults: Optional[object] = None
+        self._c_data_llc_access: Optional[object] = None
+        self._c_ptw_llc_access: Optional[object] = None
 
     @property
     def stats(self) -> StatsRegistry:
@@ -126,90 +149,155 @@ class MemoryHierarchy:
 
         Returns ``(physical_address, extra_latency, walk_accesses, fault)``.
         """
-        extra_latency = 0
-        walk_accesses = 0
-        if self.page_table is None:
-            physical = virtual_address % self.address_map.dram_bytes
-            return physical, extra_latency, walk_accesses, False
+        page_table = self.page_table
+        if page_table is None:
+            physical = virtual_address % self._dram_bytes
+            return physical, 0, 0, False
 
         if tlb.access(virtual_address):
-            physical = self.page_table.translate(virtual_address)
-            return physical, extra_latency, walk_accesses, physical is None
+            physical = page_table.translate(virtual_address)
+            return physical, 0, 0, physical is None
 
         if self.l2tlb.access(virtual_address):
-            extra_latency += L2_TLB_HIT_LATENCY
-            physical = self.page_table.translate(virtual_address)
-            return physical, extra_latency, walk_accesses, physical is None
+            physical = page_table.translate(virtual_address)
+            return physical, L2_TLB_HIT_LATENCY, 0, physical is None
 
         # Full (possibly shortened) page-table walk.
         skipped = self.translation_cache.deepest_hit_level(virtual_address)
-        levels = max(1, self.page_table.walk_levels - skipped)
-        extra_latency += L2_TLB_HIT_LATENCY
+        levels = max(1, page_table.walk_levels - skipped)
+        extra_latency = L2_TLB_HIT_LATENCY
+        walk_accesses = 0
+        root = page_table.root_physical_address
+        page_bytes = page_table.page_bytes
         for level in range(levels):
-            pte_address = (
-                self.page_table.root_physical_address + level * self.page_table.page_bytes
-            ) % self.address_map.dram_bytes
+            pte_address = (root + level * page_bytes) % self._dram_bytes
             walk_accesses += 1
-            extra_latency += self._physical_data_access(
-                pte_address, is_write=False, count_as="ptw"
-            ).latency
+            extra_latency += self._physical_data_timing(
+                pte_address, is_write=False, is_ptw=True
+            )[0]
         self.translation_cache.fill(virtual_address)
-        physical = self.page_table.translate(virtual_address)
+        physical = page_table.translate(virtual_address)
         return physical, extra_latency, walk_accesses, physical is None
 
     # ------------------------------------------------------------------
     # Physical-side accesses
 
+    def _physical_data_timing(
+        self, physical_address: int, *, is_write: bool, is_ptw: bool = False
+    ) -> tuple:
+        """Access the data-side hierarchy with an already translated address.
+
+        Returns ``(latency, llc_parts, blocked)`` where ``llc_parts`` is
+        the LLC's ``access_parts`` tuple when the access reached the LLC
+        and ``None`` otherwise.  This is the single implementation behind
+        :meth:`_physical_data_access` and the timing/warm-up paths, so the
+        state and statistics effects are identical on every path.
+        """
+        if self.region_allowed is not None and not self.region_allowed(physical_address):
+            counter = self._c_blocked_accesses
+            if counter is None:
+                counter = self._c_blocked_accesses = self._stats.counter(
+                    "protection.blocked_accesses"
+                )
+            counter.value += 1
+            return (0, None, True)
+        if self._l1d_access_parts(physical_address, is_write=is_write, owner=self.owner)[0]:
+            return (self.l1d.hit_latency, None, False)
+        llc_parts = self.llc.access_parts(
+            physical_address, is_write=is_write, core=self.core_id, owner=self.owner
+        )
+        latency = self.l1d.hit_latency + llc_parts[1]
+        if is_ptw:
+            counter = self._c_ptw_llc_access
+            if counter is None:
+                counter = self._c_ptw_llc_access = self._stats.counter("ptw.llc_access")
+        else:
+            counter = self._c_data_llc_access
+            if counter is None:
+                counter = self._c_data_llc_access = self._stats.counter("data.llc_access")
+        counter.value += 1
+        return (latency, llc_parts, False)
+
     def _physical_data_access(
         self, physical_address: int, *, is_write: bool, count_as: str = "data"
     ) -> HierarchyAccess:
         """Access the data-side hierarchy with an already translated address."""
-        if not self._check_region(physical_address):
-            self._stats.counter("protection.blocked_accesses").increment()
+        latency, llc_parts, blocked = self._physical_data_timing(
+            physical_address, is_write=is_write, is_ptw=(count_as == "ptw")
+        )
+        if blocked:
             return HierarchyAccess(latency=0, blocked_by_protection=True)
-        l1_result = self.l1d.access(physical_address, is_write=is_write, owner=self.owner)
-        latency = self.l1d.hit_latency
-        if l1_result.hit:
+        if llc_parts is None:
             return HierarchyAccess(
                 latency=latency, physical_address=physical_address, l1_hit=True
             )
-        outcome = self.llc.access(
-            physical_address, is_write=is_write, core=self.core_id, owner=self.owner
-        )
-        latency += outcome.latency
-        self._stats.counter(f"{count_as}.llc_access").increment()
         return HierarchyAccess(
             latency=latency,
             physical_address=physical_address,
             l1_hit=False,
             llc_accessed=True,
-            llc_hit=outcome.hit,
-            llc_set=outcome.set_index,
-            llc_bank=outcome.bank,
-            llc_writeback=outcome.writeback,
+            llc_hit=llc_parts[0],
+            llc_set=llc_parts[2],
+            llc_bank=llc_parts[3],
+            llc_writeback=llc_parts[4],
         )
 
     # ------------------------------------------------------------------
     # Public access points used by the core model
 
+    def data_access_timing(self, virtual_address: int, *, is_write: bool = False) -> tuple:
+        """Timing of a load/store: ``(latency, llc_miss, llc_bank)``.
+
+        Identical state and statistics effects to :meth:`data_access`,
+        returning only what the core's stage loop consumes: the total
+        latency, whether the access missed in the LLC (and therefore needs
+        an MSHR), and the MSHR bank a miss occupies.
+        """
+        physical, extra, _walk_accesses, fault = self._translate(virtual_address, self.dtlb)
+        if fault:
+            counter = self._c_page_faults
+            if counter is None:
+                counter = self._c_page_faults = self._stats.counter("mem.page_faults")
+            counter.value += 1
+            return (extra, False, 0)
+        latency, llc_parts, _blocked = self._physical_data_timing(
+            physical, is_write=is_write
+        )
+        if llc_parts is None or llc_parts[0]:
+            return (latency + extra, False, 0)
+        return (latency + extra, True, llc_parts[3])
+
     def data_access(self, virtual_address: int, *, is_write: bool = False) -> HierarchyAccess:
         """Perform a load or store through the data-side hierarchy."""
         physical, extra, walk_accesses, fault = self._translate(virtual_address, self.dtlb)
         if fault:
-            self._stats.counter("mem.page_faults").increment()
+            counter = self._c_page_faults
+            if counter is None:
+                counter = self._c_page_faults = self._stats.counter("mem.page_faults")
+            counter.value += 1
             return HierarchyAccess(latency=extra, tlb_walk_accesses=walk_accesses, page_fault=True)
-        access = self._physical_data_access(physical, is_write=is_write)
+        latency, llc_parts, blocked = self._physical_data_timing(physical, is_write=is_write)
+        if blocked:
+            return HierarchyAccess(
+                latency=extra, tlb_walk_accesses=walk_accesses, blocked_by_protection=True
+            )
+        if llc_parts is None:
+            return HierarchyAccess(
+                latency=latency + extra,
+                physical_address=physical,
+                l1_hit=True,
+                tlb_walk_accesses=walk_accesses,
+            )
         return HierarchyAccess(
-            latency=access.latency + extra,
-            physical_address=access.physical_address,
-            l1_hit=access.l1_hit,
-            llc_accessed=access.llc_accessed,
-            llc_hit=access.llc_hit,
-            llc_set=access.llc_set,
-            llc_bank=access.llc_bank,
-            llc_writeback=access.llc_writeback,
+            latency=latency + extra,
+            physical_address=physical,
+            l1_hit=False,
+            llc_accessed=True,
+            llc_hit=llc_parts[0],
+            llc_set=llc_parts[2],
+            llc_bank=llc_parts[3],
+            llc_writeback=llc_parts[4],
             tlb_walk_accesses=walk_accesses,
-            blocked_by_protection=access.blocked_by_protection,
         )
 
     def llc_probe_access(self, physical_address: int, *, is_write: bool = False) -> HierarchyAccess:
@@ -240,30 +328,65 @@ class MemoryHierarchy:
             llc_writeback=outcome.writeback,
         )
 
+    def fetch_access_timing(self, virtual_address: int) -> tuple:
+        """Timing of an instruction fetch: ``(latency, l1_hit)``.
+
+        Identical state and statistics effects to :meth:`fetch_access`,
+        returning only the fetch latency and the L1I hit bit the front
+        end's stall computation consumes.
+        """
+        physical, extra, _walk_accesses, fault = self._translate(virtual_address, self.itlb)
+        if fault:
+            counter = self._c_instruction_page_faults
+            if counter is None:
+                counter = self._c_instruction_page_faults = self._stats.counter(
+                    "mem.instruction_page_faults"
+                )
+            counter.value += 1
+            return (extra, True)
+        if self.region_allowed is not None and not self.region_allowed(physical):
+            counter = self._c_blocked_fetches
+            if counter is None:
+                counter = self._c_blocked_fetches = self._stats.counter(
+                    "protection.blocked_fetches"
+                )
+            counter.value += 1
+            return (0, True)
+        hit_latency = self.l1i.hit_latency
+        if self._l1i_access_parts(physical, owner=self.owner)[0]:
+            return (hit_latency + extra, True)
+        llc_parts = self.llc.access_parts(physical, core=self.core_id, owner=self.owner)
+        return (hit_latency + extra + llc_parts[1], False)
+
     def fetch_access(self, virtual_address: int) -> HierarchyAccess:
         """Perform an instruction fetch (one cache line) through the I-side."""
         physical, extra, walk_accesses, fault = self._translate(virtual_address, self.itlb)
         if fault:
-            self._stats.counter("mem.instruction_page_faults").increment()
+            counter = self._c_instruction_page_faults
+            if counter is None:
+                counter = self._c_instruction_page_faults = self._stats.counter(
+                    "mem.instruction_page_faults"
+                )
+            counter.value += 1
             return HierarchyAccess(latency=extra, tlb_walk_accesses=walk_accesses, page_fault=True)
         if not self._check_region(physical):
             self._stats.counter("protection.blocked_fetches").increment()
             return HierarchyAccess(latency=0, blocked_by_protection=True)
-        l1_result = self.l1i.access(physical, owner=self.owner)
+        l1_hit = self._l1i_access_parts(physical, owner=self.owner)[0]
         latency = self.l1i.hit_latency + extra
-        if l1_result.hit:
+        if l1_hit:
             return HierarchyAccess(
                 latency=latency, physical_address=physical, tlb_walk_accesses=walk_accesses
             )
-        outcome = self.llc.access(physical, core=self.core_id, owner=self.owner)
+        llc_parts = self.llc.access_parts(physical, core=self.core_id, owner=self.owner)
         return HierarchyAccess(
-            latency=latency + outcome.latency,
+            latency=latency + llc_parts[1],
             physical_address=physical,
             l1_hit=False,
             llc_accessed=True,
-            llc_hit=outcome.hit,
-            llc_set=outcome.set_index,
-            llc_bank=outcome.bank,
+            llc_hit=llc_parts[0],
+            llc_set=llc_parts[2],
+            llc_bank=llc_parts[3],
             tlb_walk_accesses=walk_accesses,
         )
 

@@ -117,6 +117,10 @@ class LastLevelCache:
             stats=self._stats,
         )
         self._mshrs = MshrFile(config.mshr)
+        # Hot-path constants and lazily cached counter handles.
+        self._hit_latency = config.hit_latency + config.extra_pipeline_latency
+        self._mshr_banks = config.mshr.banks
+        self._c_replacement_writeback: Optional[object] = None
 
     @property
     def stats(self) -> StatsRegistry:
@@ -142,6 +146,38 @@ class LastLevelCache:
         """LLC set index of a physical address under the active indexing."""
         return self._indexer.set_index(physical_address)
 
+    def access_parts(
+        self,
+        physical_address: int,
+        *,
+        is_write: bool = False,
+        core: int = 0,
+        owner: Optional[int] = None,
+    ) -> tuple:
+        """Access the LLC; return plain ``(hit, latency, set_index, bank,
+        writeback, evicted_owner)`` values.
+
+        Hot entry point used by the memory hierarchy: identical state and
+        statistics effects to :meth:`access` without constructing an
+        :class:`LlcAccessOutcome`.
+        """
+        hit, set_index, _way, _tag, evicted_dirty, evicted_owner = self._cache.access_parts(
+            physical_address, is_write=is_write, owner=owner
+        )
+        bank = set_index % self._mshr_banks
+        latency = self._hit_latency
+        if hit:
+            return (True, latency, set_index, bank, False, None)
+        latency += self.dram.config.latency_cycles
+        if evicted_dirty:
+            counter = self._c_replacement_writeback
+            if counter is None:
+                counter = self._c_replacement_writeback = self._stats.counter(
+                    "llc.replacement_writeback"
+                )
+            counter.value += 1
+        return (False, latency, set_index, bank, evicted_dirty, evicted_owner)
+
     def access(
         self,
         physical_address: int,
@@ -157,23 +193,16 @@ class LastLevelCache:
         core timing model accounts for those because they depend on the
         set of misses already outstanding.
         """
-        outcome = self._cache.access(physical_address, is_write=is_write, owner=owner)
-        set_index = outcome.set_index
-        bank = self._mshrs.bank_of(set_index)
-        latency = self.config.hit_latency + self.config.extra_pipeline_latency
-        if outcome.hit:
-            return LlcAccessOutcome(hit=True, latency=latency, set_index=set_index, bank=bank)
-        latency += self.dram.latency
-        writeback = outcome.evicted_dirty
-        if writeback:
-            self._stats.counter("llc.replacement_writeback").increment()
+        hit, latency, set_index, bank, writeback, evicted_owner = self.access_parts(
+            physical_address, is_write=is_write, core=core, owner=owner
+        )
         return LlcAccessOutcome(
-            hit=False,
+            hit=hit,
             latency=latency,
             set_index=set_index,
             bank=bank,
             writeback=writeback,
-            evicted_owner=outcome.evicted_owner,
+            evicted_owner=evicted_owner,
         )
 
     def lookup(self, physical_address: int) -> bool:

@@ -51,6 +51,10 @@ class Tlb:
         # Per set: ordered list of virtual page numbers, most recent first.
         self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
         self._asid_of: Dict[int, int] = {}
+        # Lazily cached counter handles (registration stays on first use).
+        self._c_access: Optional[object] = None
+        self._c_hit: Optional[object] = None
+        self._c_miss: Optional[object] = None
 
     @property
     def stats(self) -> StatsRegistry:
@@ -70,15 +74,24 @@ class Tlb:
 
     def access(self, virtual_address: int, asid: int = 0) -> bool:
         """Translate ``virtual_address``; refill on a miss.  True on a hit."""
-        vpn = self._vpn(virtual_address)
-        entries = self._sets[self._set_of(vpn)]
-        self._stats.counter(f"{self.name}.access").increment()
+        vpn = virtual_address // self.page_bytes
+        entries = self._sets[vpn % self.num_sets]
+        counter = self._c_access
+        if counter is None:
+            counter = self._c_access = self._stats.counter(f"{self.name}.access")
+        counter.value += 1
         if vpn in entries and self._asid_of.get(vpn, asid) == asid:
             entries.remove(vpn)
             entries.insert(0, vpn)
-            self._stats.counter(f"{self.name}.hit").increment()
+            counter = self._c_hit
+            if counter is None:
+                counter = self._c_hit = self._stats.counter(f"{self.name}.hit")
+            counter.value += 1
             return True
-        self._stats.counter(f"{self.name}.miss").increment()
+        counter = self._c_miss
+        if counter is None:
+            counter = self._c_miss = self._stats.counter(f"{self.name}.miss")
+        counter.value += 1
         self.fill(virtual_address, asid)
         return False
 
@@ -138,6 +151,9 @@ class TranslationCache:
         self.levels = levels
         self._stats = stats or StatsRegistry()
         self._levels: List[List[int]] = [[] for _ in range(levels)]
+        self._c_lookup: Optional[object] = None
+        self._c_hit: Optional[object] = None
+        self._c_miss: Optional[object] = None
 
     @property
     def stats(self) -> StatsRegistry:
@@ -156,11 +172,20 @@ class TranslationCache:
             if key in self._levels[level - 1]:
                 best = level
                 break
-        self._stats.counter(f"{self.name}.lookup").increment()
+        counter = self._c_lookup
+        if counter is None:
+            counter = self._c_lookup = self._stats.counter(f"{self.name}.lookup")
+        counter.value += 1
         if best:
-            self._stats.counter(f"{self.name}.hit").increment()
+            counter = self._c_hit
+            if counter is None:
+                counter = self._c_hit = self._stats.counter(f"{self.name}.hit")
+            counter.value += 1
         else:
-            self._stats.counter(f"{self.name}.miss").increment()
+            counter = self._c_miss
+            if counter is None:
+                counter = self._c_miss = self._stats.counter(f"{self.name}.miss")
+            counter.value += 1
         return best
 
     def fill(self, virtual_address: int, page_bytes: int = 4096) -> None:

@@ -22,7 +22,7 @@ untrusted OS, enforcing the invariants of Section 6.2:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.common.errors import SecurityMonitorError

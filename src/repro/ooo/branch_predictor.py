@@ -62,6 +62,14 @@ class TournamentPredictor:
         # only wins an index once it has repeatedly outperformed local.
         self._choice_counters: List[int] = [0] * global_entries
         self._global_history = 0
+        # Hot-path constants and lazily cached counter handles.
+        self._local_taken_threshold = 1 << (local_counter_bits - 1)
+        self._local_counter_max = (1 << local_counter_bits) - 1
+        self._local_history_mask = (1 << local_history_bits) - 1
+        self._global_history_mask = (1 << global_history_bits) - 1
+        self._global_index_mask = global_entries - 1
+        self._c_lookups: Optional[object] = None
+        self._c_mispredictions: Optional[object] = None
 
     @property
     def stats(self) -> StatsRegistry:
@@ -79,10 +87,9 @@ class TournamentPredictor:
 
     def predict(self, pc: int) -> bool:
         """Predict the direction of the branch at ``pc``."""
-        local_history = self._local_history[self._local_index(pc)]
-        local_counter = self._local_counters[local_history]
-        local_taken = local_counter >= (1 << (self.local_counter_bits - 1))
-        global_index = self._global_index()
+        local_history = self._local_history[(pc >> 2) % self.local_history_entries]
+        local_taken = self._local_counters[local_history] >= self._local_taken_threshold
+        global_index = self._global_history & self._global_index_mask
         global_taken = self._global_counters[global_index] >= 2
         use_global = self._choice_counters[global_index] >= 2
         return global_taken if use_global else local_taken
@@ -92,19 +99,26 @@ class TournamentPredictor:
 
         Returns True if the (pre-update) prediction was correct.
         """
-        local_index = self._local_index(pc)
+        local_index = (pc >> 2) % self.local_history_entries
         local_history = self._local_history[local_index]
         local_counter = self._local_counters[local_history]
-        local_taken = local_counter >= (1 << (self.local_counter_bits - 1))
-        global_index = self._global_index()
-        global_taken = self._global_counters[global_index] >= 2
+        local_taken = local_counter >= self._local_taken_threshold
+        global_index = self._global_history & self._global_index_mask
+        global_counters = self._global_counters
+        global_taken = global_counters[global_index] >= 2
         use_global = self._choice_counters[global_index] >= 2
         predicted = global_taken if use_global else local_taken
         correct = predicted == taken
 
-        self._stats.counter("bp.lookups").increment()
+        counter = self._c_lookups
+        if counter is None:
+            counter = self._c_lookups = self._stats.counter("bp.lookups")
+        counter.value += 1
         if not correct:
-            self._stats.counter("bp.mispredictions").increment()
+            counter = self._c_mispredictions
+            if counter is None:
+                counter = self._c_mispredictions = self._stats.counter("bp.mispredictions")
+            counter.value += 1
 
         # Choice counter trains toward whichever component was right.
         if local_taken != global_taken:
@@ -117,21 +131,20 @@ class TournamentPredictor:
                     self._choice_counters[global_index] - 1, 3
                 )
 
+        step = 1 if taken else -1
+
         # Local component.
-        maximum = (1 << self.local_counter_bits) - 1
         self._local_counters[local_history] = _saturate(
-            local_counter + (1 if taken else -1), maximum
+            local_counter + step, self._local_counter_max
         )
         self._local_history[local_index] = (
             (local_history << 1) | (1 if taken else 0)
-        ) & ((1 << self.local_history_bits) - 1)
+        ) & self._local_history_mask
 
         # Global component.
-        self._global_counters[global_index] = _saturate(
-            self._global_counters[global_index] + (1 if taken else -1), 3
-        )
+        global_counters[global_index] = _saturate(global_counters[global_index] + step, 3)
         self._global_history = ((self._global_history << 1) | (1 if taken else 0)) & (
-            (1 << self.global_history_bits) - 1
+            self._global_history_mask
         )
         return correct
 

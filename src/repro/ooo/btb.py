@@ -23,16 +23,24 @@ class BranchTargetBuffer:
         self._stats = stats or StatsRegistry()
         self._tags: List[Optional[int]] = [None] * entries
         self._targets: List[int] = [0] * entries
+        self._c_lookups: Optional[object] = None
+        self._c_hits: Optional[object] = None
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) % self.entries
 
     def lookup(self, pc: int) -> Optional[int]:
         """Predicted target for the instruction at ``pc`` (None on a miss)."""
-        index = self._index(pc)
-        self._stats.counter("btb.lookups").increment()
+        index = (pc >> 2) % self.entries
+        counter = self._c_lookups
+        if counter is None:
+            counter = self._c_lookups = self._stats.counter("btb.lookups")
+        counter.value += 1
         if self._tags[index] == pc:
-            self._stats.counter("btb.hits").increment()
+            counter = self._c_hits
+            if counter is None:
+                counter = self._c_hits = self._stats.counter("btb.hits")
+            counter.value += 1
             return self._targets[index]
         return None
 

@@ -22,6 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.common.fastpath import slow_path_enabled
 from repro.common.stats import StatsRegistry
 from repro.isa.instructions import Instruction, InstructionKind, TrapCause
 from repro.mem.hierarchy import MemoryHierarchy
@@ -29,6 +30,7 @@ from repro.ooo.frontend import FrontEnd
 from repro.ooo.lsq import LoadStoreQueue, StoreBuffer
 from repro.ooo.rename import FreeList, RenameTable
 from repro.ooo.rob import IssueQueue, ReorderBuffer
+
 
 
 @dataclass(frozen=True)
@@ -180,7 +182,21 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
 
     def run(self, instructions: Iterable[Instruction], *, max_instructions: Optional[int] = None) -> CoreResult:
-        """Execute an instruction stream and return the timing summary."""
+        """Execute an instruction stream and return the timing summary.
+
+        Dispatches to the fast stage loop by default; ``REPRO_SLOW_PATH=1``
+        selects :meth:`_run_reference`, the original straight-line
+        implementation kept as the bit-identical reference (see
+        :mod:`repro.common.fastpath`).
+        """
+        if slow_path_enabled():
+            return self._run_reference(instructions, max_instructions=max_instructions)
+        return self._run_fast(instructions, max_instructions=max_instructions)
+
+    def _run_reference(
+        self, instructions: Iterable[Instruction], *, max_instructions: Optional[int] = None
+    ) -> CoreResult:
+        """Reference implementation of the stage loop (the slow path)."""
         config = self.config
         stats = self.stats
         hierarchy = self.hierarchy
@@ -346,6 +362,248 @@ class OutOfOrderCore:
                 fetch_floor = max(fetch_floor, commit + penalty)
                 frontend.redirect(fetch_floor)
                 last_commit = max(last_commit, fetch_floor)
+
+        total_cycles = last_commit if committed else 0
+        return CoreResult(cycles=total_cycles, instructions=committed, stats=stats)
+
+    def _run_fast(
+        self, instructions: Iterable[Instruction], *, max_instructions: Optional[int] = None
+    ) -> CoreResult:
+        """Fast stage loop: same semantics as :meth:`_run_reference`.
+
+        Differences are strictly mechanical — attribute lookups hoisted
+        into locals, enum membership tests against prebound members,
+        counter handles bound once, and the per-instruction
+        ``FetchOutcome``/``HierarchyAccess`` records replaced by the
+        timing tuples of :meth:`FrontEnd.fetch_timing` and
+        :meth:`MemoryHierarchy.data_access_timing`.  The equivalence
+        suite asserts bit-identical results against the reference.
+        """
+        config = self.config
+        stats = self.stats
+        frontend = self.frontend
+        fetch_timing = frontend.fetch_timing
+        resolve_control_timing = frontend.resolve_control_timing
+        frontend_redirect = frontend.redirect
+        data_access_timing = self.hierarchy.data_access_timing
+
+        mshr_config = self.hierarchy.llc.config.mshr
+        mshr_capacity = mshr_config.entries_per_core
+        bank_count = mshr_config.banks
+        bank_capacity = mshr_config.entries_per_bank
+        stall_on_any_full_bank = mshr_config.stall_whole_file_on_full_bank
+
+        frontend_depth = config.frontend_depth
+        rob_entries = config.rob_entries
+        nonspec_memory = config.nonspec_memory
+        mul_div_latency = config.mul_div_latency
+        fp_latency = config.fp_latency
+        mispredict_penalty = config.mispredict_penalty
+        trap_interval = config.trap_interval_instructions
+        trap_base_penalty = config.trap_redirect_penalty + config.trap_handler_cycles
+        flush_on_trap = config.flush_on_trap
+        trap_hooks = self._trap_hooks
+
+        LOAD = InstructionKind.LOAD
+        STORE = InstructionKind.STORE
+        MUL_DIV = InstructionKind.MUL_DIV
+        FP = InstructionKind.FP
+        BRANCH = InstructionKind.BRANCH
+        JUMP = InstructionKind.JUMP
+        RETURN = InstructionKind.RETURN
+        CSR = InstructionKind.CSR
+        FENCE = InstructionKind.FENCE
+        SYSCALL = InstructionKind.SYSCALL
+        PURGE = InstructionKind.PURGE
+        TIMER_INTERRUPT = TrapCause.TIMER_INTERRUPT
+        SYSCALL_CAUSE = TrapCause.SYSCALL
+
+        commit_history: deque = deque(maxlen=rob_entries)
+        commit_history_append = commit_history.append
+        reg_ready: Dict[int, int] = {}
+        reg_ready_get = reg_ready.get
+        alu_slots = [0] * config.alu_units
+        mem_slots = [0] * config.mem_units
+        fp_slots = [0] * config.fp_units
+        outstanding_misses: List[tuple] = []   # (complete_cycle, bank)
+        fetch_floor = 0
+        dispatch_floor = 0
+        last_commit = 0
+        commit_window: deque = deque(maxlen=max(1, config.commit_width))
+        commit_window_maxlen = commit_window.maxlen
+        commit_window_append = commit_window.append
+        committed = 0
+        committed_since_trap = 0
+        limit = max_instructions if max_instructions is not None else float("inf")
+
+        counter_committed = stats.counter("core.instructions")
+        counter_branches = stats.counter("core.branches")
+        counter_traps = stats.counter("core.traps")
+        counter_syscalls = stats.counter("core.syscalls")
+        counter_flush_stall = stats.counter("core.flush_stall_cycles")
+        counter_mshr_wait = stats.counter("core.mshr_wait_cycles")
+        counter_mispredict_redirects = stats.counter("core.mispredict_redirects")
+
+        for instruction in instructions:
+            if committed >= limit:
+                break
+
+            # ---------------- fetch ----------------
+            fetch_cycle, predicted_taken, target_known = fetch_timing(instruction, fetch_floor)
+            dispatch = fetch_cycle + frontend_depth
+            if dispatch_floor > dispatch:
+                dispatch = dispatch_floor
+
+            # ROB occupancy: wait for the instruction rob_entries older to commit.
+            if len(commit_history) == rob_entries:
+                oldest = commit_history[0]
+                if oldest > dispatch:
+                    dispatch = oldest
+
+            kind = instruction.kind
+
+            # NONSPEC / serialising instructions wait for an empty ROB before
+            # they can be renamed; because rename is in order, everything
+            # younger is held up behind them (dispatch_floor).
+            if (
+                kind is CSR
+                or kind is FENCE
+                or kind is SYSCALL
+                or kind is PURGE
+                or (nonspec_memory and (kind is LOAD or kind is STORE))
+            ):
+                if last_commit > dispatch:
+                    dispatch = last_commit
+                if dispatch > dispatch_floor:
+                    dispatch_floor = dispatch
+
+            # ---------------- issue ----------------
+            ready = dispatch
+            for source in instruction.srcs:
+                source_ready = reg_ready_get(source, 0)
+                if source_ready > ready:
+                    ready = source_ready
+
+            if kind is LOAD or kind is STORE:
+                unit_slots = mem_slots
+            elif kind is FP or kind is MUL_DIV:
+                unit_slots = fp_slots
+            else:
+                unit_slots = alu_slots
+            slot_index = 0
+            issue = unit_slots[0]
+            for index in range(1, len(unit_slots)):
+                slot_free = unit_slots[index]
+                if slot_free < issue:
+                    issue = slot_free
+                    slot_index = index
+            if ready > issue:
+                issue = ready
+            unit_slots[slot_index] = issue + 1
+
+            # ---------------- execute ----------------
+            mshr_wait = 0
+            if kind is LOAD or kind is STORE:
+                is_store = kind is STORE
+                latency, llc_miss, llc_bank = data_access_timing(
+                    instruction.vaddr or 0, is_write=is_store
+                )
+                if llc_miss:
+                    # The miss needs an MSHR (and a bank slot); wait for
+                    # availability based on the misses still outstanding.
+                    start = issue
+                    if outstanding_misses:
+                        outstanding_misses[:] = [
+                            entry for entry in outstanding_misses if entry[0] > start
+                        ]
+                        if len(outstanding_misses) >= mshr_capacity:
+                            completions = sorted(entry[0] for entry in outstanding_misses)
+                            start = completions[len(outstanding_misses) - mshr_capacity]
+                        if bank_count > 1:
+                            bank_completions = sorted(
+                                entry[0] for entry in outstanding_misses if entry[1] == llc_bank
+                            )
+                            if len(bank_completions) >= bank_capacity:
+                                candidate = bank_completions[len(bank_completions) - bank_capacity]
+                                if candidate > start:
+                                    start = candidate
+                            if stall_on_any_full_bank:
+                                for bank in range(bank_count):
+                                    per_bank = sorted(
+                                        entry[0]
+                                        for entry in outstanding_misses
+                                        if entry[1] == bank
+                                    )
+                                    if len(per_bank) >= bank_capacity:
+                                        candidate = per_bank[len(per_bank) - bank_capacity]
+                                        if candidate > start:
+                                            start = candidate
+                        mshr_wait = start - issue
+                        if mshr_wait:
+                            counter_mshr_wait.value += mshr_wait
+                    outstanding_misses.append((start + latency, llc_bank))
+                if is_store:
+                    # Stores complete through the store buffer; they do not
+                    # hold up dependents or commit for their miss latency.
+                    complete = issue + 1 + mshr_wait
+                else:
+                    complete = issue + latency + mshr_wait
+            elif kind is MUL_DIV:
+                complete = issue + mul_div_latency
+            elif kind is FP:
+                complete = issue + fp_latency
+            else:
+                complete = issue + 1
+
+            # ---------------- control resolution ----------------
+            if kind is BRANCH or kind is JUMP or kind is RETURN:
+                counter_branches.value += 1
+                if resolve_control_timing(instruction, predicted_taken, target_known):
+                    counter_mispredict_redirects.value += 1
+                    redirect = complete + mispredict_penalty
+                    if redirect > fetch_floor:
+                        fetch_floor = redirect
+                    frontend_redirect(redirect)
+
+            # ---------------- commit ----------------
+            commit = complete if complete > last_commit else last_commit
+            if len(commit_window) == commit_window_maxlen and commit <= commit_window[0]:
+                commit = commit_window[0] + 1
+            commit_window_append(commit)
+            last_commit = commit
+            commit_history_append(commit)
+            dst = instruction.dst
+            if dst >= 0:
+                reg_ready[dst] = complete
+            committed += 1
+            committed_since_trap += 1
+            counter_committed.value += 1
+
+            # ---------------- traps ----------------
+            trap_cause: Optional[TrapCause] = instruction.trap
+            if trap_cause is None and trap_interval:
+                if committed_since_trap >= trap_interval:
+                    trap_cause = TIMER_INTERRUPT
+            if trap_cause is not None:
+                committed_since_trap = 0
+                counter_traps.value += 1
+                if trap_cause is SYSCALL_CAUSE:
+                    counter_syscalls.value += 1
+                for hook in trap_hooks:
+                    hook(trap_cause)
+                penalty = trap_base_penalty
+                if flush_on_trap and self.purge_callback is not None:
+                    # Flush on trap entry and again on return from handling
+                    # (Section 7.1), stalling the core both times.
+                    stall = self.purge_callback() + self.purge_callback()
+                    counter_flush_stall.value += stall
+                    penalty += stall
+                floor = commit + penalty
+                if floor > fetch_floor:
+                    fetch_floor = floor
+                frontend_redirect(fetch_floor)
+                if fetch_floor > last_commit:
+                    last_commit = fetch_floor
 
         total_cycles = last_commit if committed else 0
         return CoreResult(cycles=total_cycles, instructions=committed, stats=stats)

@@ -1,0 +1,58 @@
+"""Performance tracking for the simulator itself.
+
+The rest of the repository measures the *modelled* machine (cycles, MPKI,
+overhead percentages); this package measures the *simulator* — how many
+instructions per wall-clock second the kernel sustains — and records the
+trajectory so regressions are caught the same way the paper's own
+overhead numbers are tracked:
+
+* :class:`~repro.perf.profiler.Profiler` wraps any Session request and
+  reports instructions/sec, cycles/sec, and per-component time shares;
+* :mod:`~repro.perf.suite` pins the workload suite every measurement
+  runs (same variants, benchmarks, seed, and run length, so numbers are
+  comparable across commits);
+* :class:`~repro.perf.recorder.BenchRecorder` writes machine-readable
+  ``BENCH_<date>.json`` trajectory files (git SHA, seed, config hashes,
+  throughput, calibration score) and diffs them against a baseline.
+
+The CLI front end is ``python -m repro perf`` (see ``repro-bench perf
+--help``); CI runs it on every push and fails on a >20% regression
+against the committed baseline.
+"""
+
+from repro.perf.profiler import ProfileReport, Profiler
+from repro.perf.recorder import (
+    BENCH_SCHEMA_VERSION,
+    BenchComparison,
+    BenchRecorder,
+    calibration_score,
+    compare_to_baseline,
+    load_bench,
+)
+from repro.perf.suite import (
+    DEFAULT_SUITE_INSTRUCTIONS,
+    PINNED_SEED,
+    PINNED_SUITE,
+    SuiteMeasurement,
+    SuiteResult,
+    run_suite,
+    suite_requests,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchRecorder",
+    "DEFAULT_SUITE_INSTRUCTIONS",
+    "PINNED_SEED",
+    "PINNED_SUITE",
+    "ProfileReport",
+    "Profiler",
+    "SuiteMeasurement",
+    "SuiteResult",
+    "calibration_score",
+    "compare_to_baseline",
+    "load_bench",
+    "run_suite",
+    "suite_requests",
+]

@@ -1,0 +1,270 @@
+"""BenchRecorder: machine-readable throughput trajectory files.
+
+Every perf measurement is written to a ``BENCH_<date>.json`` file so the
+repository accumulates a *trajectory* of simulator throughput over time,
+the same way the paper tracks its overhead numbers.  A record carries
+everything needed to interpret the number later:
+
+* the **git SHA** the measurement was taken at;
+* the **seed**, **run length**, and per-case **config digests** /
+  **cache keys** (so a record is traceable to the exact simulations);
+* raw throughput (instructions/sec, cycles/sec) and a **calibration
+  score** — the speed of a fixed pure-Python loop on the measuring
+  machine — whose ratio (``normalized_throughput``) makes records
+  comparable across machines of different speeds;
+* whether the ``REPRO_SLOW_PATH`` escape hatch was active.
+
+:func:`compare_to_baseline` diffs two records on the normalized metric;
+the CLI (and the CI perf gate) fail when the ratio drops below the
+allowed regression.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.common.fastpath import slow_path_enabled
+from repro.perf.suite import SuiteResult
+
+#: Version of the BENCH file format (independent of the run-store schema).
+BENCH_SCHEMA_VERSION = 1
+
+#: Discriminator stored in every BENCH file.
+BENCH_KIND = "repro-bench-perf"
+
+#: Iterations of the calibration loop (one pass costs ~50 ms).
+_CALIBRATION_ITERATIONS = 1_000_000
+
+#: Calibration passes; the fastest is kept (least scheduler noise).
+_CALIBRATION_PASSES = 3
+
+
+def calibration_score(
+    iterations: int = _CALIBRATION_ITERATIONS, passes: int = _CALIBRATION_PASSES
+) -> float:
+    """Million iterations/second of a fixed pure-Python arithmetic loop.
+
+    Serves as a machine-speed yardstick: throughput divided by this score
+    is roughly machine-independent, which is what lets a laptop-recorded
+    baseline gate a CI runner (and vice versa) without 2x false alarms.
+    """
+    best = 0.0
+    for _ in range(max(1, passes)):
+        accumulator = 0
+        started = time.perf_counter()
+        for value in range(iterations):
+            accumulator += value * value
+        elapsed = time.perf_counter() - started
+        if elapsed > 0.0:
+            best = max(best, iterations / elapsed / 1e6)
+    return best
+
+
+def git_sha(repo_dir: Optional[Union[str, Path]] = None) -> str:
+    """Current git commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_dir) if repo_dir is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Result of diffing a measurement against a baseline record.
+
+    Attributes:
+        current_normalized: Measurement's calibration-normalized throughput.
+        baseline_normalized: Baseline's calibration-normalized throughput.
+        ratio: current / baseline on the normalized metric.
+        raw_ratio: current / baseline on raw instructions/sec.
+        max_regression: Allowed fractional drop (0.2 = 20%).
+        regressed: True when ``ratio`` fell below ``1 - max_regression``.
+    """
+
+    current_normalized: float
+    baseline_normalized: float
+    ratio: float
+    raw_ratio: float
+    max_regression: float
+    regressed: bool
+
+
+class BenchRecorder:
+    """Writes and reads ``BENCH_<date>.json`` trajectory files.
+
+    Args:
+        directory: Where records are written (created on demand).
+    """
+
+    def __init__(self, directory: Union[str, Path] = ".") -> None:
+        self.directory = Path(directory)
+
+    def record_path(self, *, when: Optional[date] = None) -> Path:
+        """Path of the record for ``when`` (today by default)."""
+        stamp = (when or date.today()).isoformat()
+        return self.directory / f"BENCH_{stamp}.json"
+
+    def build_record(
+        self,
+        result: SuiteResult,
+        *,
+        calibration: Optional[float] = None,
+        sha: Optional[str] = None,
+        when: Optional[date] = None,
+    ) -> Dict[str, Any]:
+        """Assemble the JSON document for one suite execution."""
+        calibration = calibration if calibration is not None else calibration_score()
+        aggregate_ips = result.instructions_per_second
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "kind": BENCH_KIND,
+            "date": (when or date.today()).isoformat(),
+            "git_sha": sha if sha is not None else git_sha(),
+            "seed": result.seed,
+            "instructions": result.instructions,
+            "slow_path": slow_path_enabled(),
+            "calibration_mops": calibration,
+            "aggregate": {
+                "instructions_per_second": aggregate_ips,
+                "cycles_per_second": result.cycles_per_second,
+                "wall_seconds": result.total_wall_seconds,
+                "normalized_throughput": (
+                    aggregate_ips / calibration if calibration > 0.0 else 0.0
+                ),
+            },
+            "runs": [
+                {
+                    "variant": m.variant,
+                    "benchmark": m.benchmark,
+                    "config_digest": m.config_digest,
+                    "cache_key": m.cache_key,
+                    "instructions": m.report.instructions,
+                    "cycles": m.report.cycles,
+                    "wall_seconds": m.report.wall_seconds,
+                    "instructions_per_second": m.report.instructions_per_second,
+                    "component_shares": dict(m.report.component_shares),
+                }
+                for m in result.measurements
+            ],
+        }
+
+    def write(
+        self,
+        result: Optional[SuiteResult] = None,
+        *,
+        record: Optional[Dict[str, Any]] = None,
+        calibration: Optional[float] = None,
+        sha: Optional[str] = None,
+        when: Optional[date] = None,
+        path: Optional[Union[str, Path]] = None,
+    ) -> Path:
+        """Write one suite execution's record; returns the file path.
+
+        Pass either a ``result`` (a record is built from it) or a
+        prebuilt ``record`` from :meth:`build_record` — callers that also
+        print or diff the record pass it here so the written file and
+        the in-memory document are one and the same.
+        """
+        if record is None:
+            if result is None:
+                raise ValueError("write() needs a SuiteResult or a prebuilt record")
+            record = self.build_record(result, calibration=calibration, sha=sha, when=when)
+        elif when is None:
+            when = date.fromisoformat(record["date"])
+        target = Path(path) if path is not None else self.record_path(when=when)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a BENCH record, validating the format discriminator."""
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    if record.get("kind") != BENCH_KIND:
+        raise ValueError(f"{path} is not a {BENCH_KIND} record")
+    return record
+
+
+def _comparability_mismatches(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> list:
+    """Fields on which the two records measured different work.
+
+    Only fields present in *both* records are checked, so hand-written
+    minimal records (tests, external tooling) can still be compared.
+    """
+    mismatches = []
+    for field_name in ("instructions", "seed", "slow_path"):
+        if field_name in current and field_name in baseline:
+            if current[field_name] != baseline[field_name]:
+                mismatches.append(
+                    f"{field_name}: {current[field_name]} vs {baseline[field_name]}"
+                )
+    current_keys = sorted(run["cache_key"] for run in current.get("runs", []) if "cache_key" in run)
+    baseline_keys = sorted(run["cache_key"] for run in baseline.get("runs", []) if "cache_key" in run)
+    if current_keys and baseline_keys and current_keys != baseline_keys:
+        mismatches.append("suite cache keys differ (pinned suite or configs changed)")
+    return mismatches
+
+
+def compare_to_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    max_regression: float = 0.2,
+) -> BenchComparison:
+    """Diff a measurement against a baseline record.
+
+    The comparison uses calibration-normalized throughput so records
+    taken on machines of different speeds remain comparable; the raw
+    ratio is reported alongside for context.
+
+    Raises:
+        ValueError: when the records measured different work — different
+            run length, seed, kernel (``slow_path``), or suite cache
+            keys — and a throughput ratio would therefore be meaningless.
+    """
+    mismatches = _comparability_mismatches(current, baseline)
+    if mismatches:
+        raise ValueError(
+            "records are not comparable: " + "; ".join(mismatches) + " — "
+            "re-record the baseline with the same suite settings"
+        )
+    current_norm = float(current["aggregate"]["normalized_throughput"])
+    baseline_norm = float(baseline["aggregate"]["normalized_throughput"])
+    current_raw = float(current["aggregate"]["instructions_per_second"])
+    baseline_raw = float(baseline["aggregate"]["instructions_per_second"])
+    ratio = current_norm / baseline_norm if baseline_norm > 0.0 else float("inf")
+    raw_ratio = current_raw / baseline_raw if baseline_raw > 0.0 else float("inf")
+    return BenchComparison(
+        current_normalized=current_norm,
+        baseline_normalized=baseline_norm,
+        ratio=ratio,
+        raw_ratio=raw_ratio,
+        max_regression=max_regression,
+        regressed=ratio < (1.0 - max_regression),
+    )
+
+
+def latest_bench(directory: Union[str, Path] = ".") -> Optional[Path]:
+    """Most recent ``BENCH_*.json`` in ``directory`` (by name), if any."""
+    candidates = sorted(Path(directory).glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None

@@ -1,0 +1,138 @@
+"""The pinned workload suite every perf measurement runs.
+
+Throughput numbers are only comparable across commits if every
+measurement simulates exactly the same work, so the suite is *pinned*:
+fixed (variant, benchmark) pairs spanning the timing model's main code
+paths — the insecure baseline, a composed two-mitigation machine
+(set-partitioned indexing + arbiter latency), and the full MI6 stack
+with purge-on-trap — at a fixed seed.  The run length is a parameter
+(CI uses a short one) but is recorded in every ``BENCH_*.json`` so
+trajectories never silently mix lengths.
+
+Suite runs always *simulate*: requests execute directly through the
+engine, bypassing the result store, because a warm hit would measure
+JSON decoding rather than the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.engine import EvaluationSettings, RunRequest, request_for
+from repro.core.serialization import config_digest
+from repro.core.variants import parse_variant
+from repro.perf.profiler import ProfileReport, Profiler
+
+#: (mitigation spec, benchmark) pairs of the pinned suite, in run order.
+PINNED_SUITE: Tuple[Tuple[str, str], ...] = (
+    ("BASE", "hmmer"),
+    ("PART+ARB", "libquantum"),
+    ("F+P+M+A", "mcf"),
+)
+
+#: Seed the suite always runs with (the evaluation default).
+PINNED_SEED = 2019
+
+#: Default instructions per suite run (CI's perf job uses the same).
+DEFAULT_SUITE_INSTRUCTIONS = 20_000
+
+
+def suite_requests(
+    instructions: int = DEFAULT_SUITE_INSTRUCTIONS,
+    seed: int = PINNED_SEED,
+    cases: Sequence[Tuple[str, str]] = PINNED_SUITE,
+) -> List[RunRequest]:
+    """Fully specified engine requests for the pinned suite."""
+    settings = EvaluationSettings(instructions=instructions, seed=seed)
+    return [
+        request_for(parse_variant(spec), benchmark, settings)
+        for spec, benchmark in cases
+    ]
+
+
+@dataclass(frozen=True)
+class SuiteMeasurement:
+    """One suite case's identity and measured throughput.
+
+    Attributes:
+        variant: Mitigation spec the case ran on.
+        benchmark: Benchmark profile name.
+        cache_key: Content-hash identity of the simulated run.
+        config_digest: Content hash of the machine configuration alone.
+        report: Measured throughput (and optional component shares).
+    """
+
+    variant: str
+    benchmark: str
+    cache_key: str
+    config_digest: str
+    report: ProfileReport
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """All measurements of one suite execution."""
+
+    instructions: int
+    seed: int
+    measurements: Tuple[SuiteMeasurement, ...]
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions committed across the whole suite."""
+        return sum(m.report.instructions for m in self.measurements)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Wall-clock seconds spent simulating across the whole suite."""
+        return sum(m.report.wall_seconds for m in self.measurements)
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Aggregate simulator throughput over the suite."""
+        wall = self.total_wall_seconds
+        if wall <= 0.0:
+            return 0.0
+        return self.total_instructions / wall
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Aggregate simulated cycles per wall-clock second."""
+        wall = self.total_wall_seconds
+        if wall <= 0.0:
+            return 0.0
+        return sum(m.report.cycles for m in self.measurements) / wall
+
+
+def run_suite(
+    instructions: int = DEFAULT_SUITE_INSTRUCTIONS,
+    seed: int = PINNED_SEED,
+    *,
+    components: bool = False,
+    cases: Sequence[Tuple[str, str]] = PINNED_SUITE,
+) -> SuiteResult:
+    """Run the pinned suite and return its measurements.
+
+    Args:
+        instructions: Instructions each case commits.
+        seed: Workload/machine seed (pin it unless studying seed noise).
+        components: Also collect per-component time shares per case.
+        cases: Suite composition override (tests use a smaller one).
+    """
+    profiler = Profiler(EvaluationSettings(instructions=instructions, seed=seed))
+    measurements = []
+    for (spec, benchmark), request in zip(cases, suite_requests(instructions, seed, cases)):
+        report = profiler.profile(request, components=components)
+        measurements.append(
+            SuiteMeasurement(
+                variant=spec,
+                benchmark=benchmark,
+                cache_key=request.cache_key(),
+                config_digest=config_digest(request.config),
+                report=report,
+            )
+        )
+    return SuiteResult(
+        instructions=instructions, seed=seed, measurements=tuple(measurements)
+    )

@@ -273,6 +273,9 @@ class SyntheticWorkload:
         mix_items = list(profile.instruction_mix.items())
         kinds = [name for name, _ in mix_items]
         weights = [weight for _, weight in mix_items]
+        # Draw-for-draw equivalent of weighted_choice with the cumulative
+        # weights precomputed once for the whole stream.
+        pick_class = self._mix_rng.weighted_picker(kinds, weights)
         recent_alu: deque = deque(maxlen=64)
         last_load_dst = -1
         pc = CODE_BASE
@@ -292,7 +295,7 @@ class SyntheticWorkload:
                 continue
             since_syscall += 1
 
-            class_name = self._mix_rng.weighted_choice(kinds, weights)
+            class_name = pick_class()
             dst = next_register
             next_register = next_register + 1 if next_register < 31 else 1
             sources = self._sources(

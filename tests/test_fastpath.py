@@ -1,0 +1,91 @@
+"""Fast-path == slow-path equivalence suite.
+
+The simulator ships two kernels: the optimized fast path (default) and
+the original reference implementation behind ``REPRO_SLOW_PATH=1`` (see
+:mod:`repro.common.fastpath`).  These tests are the contract that the
+optimization work never changes results: for every paper variant and for
+composed mitigation specs, the two paths must produce bit-identical
+stats (cycles, instructions, every counter and histogram) and identical
+content-hash cache keys.
+"""
+
+import pytest
+
+from repro.analysis.engine import EvaluationSettings, execute_request, request_for
+from repro.attacks.scenarios import run_scenario
+from repro.common.fastpath import SLOW_PATH_ENV_VAR, slow_path_enabled
+from repro.core.serialization import config_digest, run_to_dict
+from repro.core.variants import Variant, all_variants, config_for_variant, parse_variant
+
+SETTINGS = EvaluationSettings(instructions=2_000, seed=2019)
+
+#: Every paper variant plus two composed mitigation specs (ISSUE 4).
+EQUIVALENCE_SPECS = [variant.name for variant in all_variants()] + [
+    "FLUSH+MISS",
+    "PART+ARB",
+]
+
+
+def _execute(request, monkeypatch, *, slow):
+    if slow:
+        monkeypatch.setenv(SLOW_PATH_ENV_VAR, "1")
+    else:
+        monkeypatch.delenv(SLOW_PATH_ENV_VAR, raising=False)
+    try:
+        return request.cache_key(), run_to_dict(execute_request(request))
+    finally:
+        monkeypatch.delenv(SLOW_PATH_ENV_VAR, raising=False)
+
+
+class TestSlowPathSwitch:
+    def test_defaults_to_fast_path(self, monkeypatch):
+        monkeypatch.delenv(SLOW_PATH_ENV_VAR, raising=False)
+        assert not slow_path_enabled()
+
+    def test_zero_and_empty_mean_fast(self, monkeypatch):
+        for value in ("", "0"):
+            monkeypatch.setenv(SLOW_PATH_ENV_VAR, value)
+            assert not slow_path_enabled()
+
+    def test_one_means_slow(self, monkeypatch):
+        monkeypatch.setenv(SLOW_PATH_ENV_VAR, "1")
+        assert slow_path_enabled()
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("spec", EQUIVALENCE_SPECS)
+    def test_fast_equals_slow(self, spec, monkeypatch):
+        request = request_for(parse_variant(spec), "hmmer", SETTINGS)
+        fast_key, fast_run = _execute(request, monkeypatch, slow=False)
+        slow_key, slow_run = _execute(request, monkeypatch, slow=True)
+        # Cache keys hash configuration + workload parameters; the path
+        # switch must not perturb them.
+        assert fast_key == slow_key
+        # Stats are compared field-for-field through the serialised form:
+        # cycles, instructions, every counter, every histogram bucket.
+        assert fast_run == slow_run
+
+    def test_config_digest_ignores_path_switch(self, monkeypatch):
+        config = config_for_variant(Variant.F_P_M_A)
+        monkeypatch.delenv(SLOW_PATH_ENV_VAR, raising=False)
+        fast_digest = config_digest(config)
+        monkeypatch.setenv(SLOW_PATH_ENV_VAR, "1")
+        assert config_digest(config) == fast_digest
+
+    def test_multiple_benchmarks_one_variant(self, monkeypatch):
+        for benchmark in ("libquantum", "mcf"):
+            request = request_for(Variant.BASE, benchmark, SETTINGS)
+            fast_key, fast_run = _execute(request, monkeypatch, slow=False)
+            slow_key, slow_run = _execute(request, monkeypatch, slow=True)
+            assert fast_key == slow_key
+            assert fast_run == slow_run
+
+
+class TestScenarioEquivalence:
+    def test_prime_probe_outcome_identical(self, monkeypatch):
+        config = config_for_variant(Variant.BASE)
+        monkeypatch.delenv(SLOW_PATH_ENV_VAR, raising=False)
+        fast = run_scenario("prime_probe", config, 2019, num_cores=2).to_dict()
+        monkeypatch.setenv(SLOW_PATH_ENV_VAR, "1")
+        slow = run_scenario("prime_probe", config, 2019, num_cores=2).to_dict()
+        assert fast == slow

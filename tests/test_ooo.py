@@ -4,7 +4,6 @@ import pytest
 
 from repro.common.rng import DeterministicRng
 from repro.common.stats import StatsRegistry
-from repro.core.config import MI6Config
 from repro.isa.instructions import alu, branch, load, store, syscall
 from repro.mem.address import AddressMap
 from repro.mem.dram import DramController
