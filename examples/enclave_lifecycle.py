@@ -12,11 +12,14 @@ Along the way the script shows the monitor refusing the hostile requests
 a malicious OS might make.
 """
 
-from repro import MaliciousOS, Machine, SecurityMonitor, Variant, config_for_variant
+from repro import MaliciousOS, Machine, SecurityMonitor, config_for_spec
 
 
 def main() -> None:
-    machine = Machine(config_for_variant(Variant.F_P_M_A), num_cores=2)
+    # Mitigation specs are the composable vocabulary: any +-combination
+    # of FLUSH/PART/MISS/ARB/NONSPEC builds a machine (F+P+M+A is the
+    # paper's full MI6 stack).
+    machine = Machine(config_for_spec("F+P+M+A"), num_cores=2)
     monitor = SecurityMonitor(machine)
     operating_system = MaliciousOS(machine, monitor)
 
@@ -29,7 +32,8 @@ def main() -> None:
     print(f"enclave id          : {enclave.enclave_id}")
     print(f"measurement         : {enclave.measurement[:32]}...")
     print(f"state               : {enclave.state.name}")
-    print(f"core 1 purges so far: {machine.core(1).purge_count}")
+    print(f"core 1 purges so far: {machine.core(1).purge_count}"
+          f" ({machine.core(1).purge_stall_cycles} stall cycles)")
     print(f"core 1 regions      : {sorted(machine.core(1).region_bitvector.allowed_regions())}")
     attestation = monitor.attest_enclave(enclave, report_data=b"session-key-hash")
     print(f"attestation verifies: {attestation.verify(enclave.measurement, {'mi6-platform'})}")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart for the enclave-serving subsystem (``repro/service``).
+
+Simulates a small enclave fleet serving an open-loop request stream on
+the insecure baseline and on the full MI6 machine, across the three
+shipped scheduling policies — the paper's per-switch purge costs
+(Sections 6.1/7.1) expressed as p95/p99 request latency instead of
+per-benchmark overhead percentages.
+
+Everything flows through one :class:`repro.api.Session`: the
+per-benchmark cycle costs and the serving outcomes are both persisted in
+the result store, so re-running this script is warm-start, and each
+result entry's provenance carries the purge audit (how many monitor
+purges ran, what they cost, per core).
+
+Usage::
+
+    python examples/enclave_service.py [requests] [load] [profile]
+"""
+
+import sys
+
+from repro.analysis.figures import SERVICE_TABLE_TITLE, service_latency_rows
+from repro.analysis.report import format_service_table
+from repro.api import ServiceRequest, Session
+
+
+def main() -> None:
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+    load = float(sys.argv[2]) if len(sys.argv) > 2 else 0.8
+    profile = sys.argv[3] if len(sys.argv) > 3 else "bursty"
+
+    session = Session()
+    result = session.run(
+        ServiceRequest(
+            policies=["fifo", "affinity", "batch"],
+            variants=["BASE", "F+P+M+A"],
+            loads=[load],
+            load_profile=profile,
+            requests=requests,
+        )
+    )
+
+    print(format_service_table(SERVICE_TABLE_TITLE, service_latency_rows(result.service_outcomes)))
+    print()
+    fifo = result.entry("fifo", "F+P+M+A", load, result.entries[0].key[3])
+    audit = fifo.provenance.purge
+    print(
+        f"fifo on F+P+M+A purged {audit['purge_count']} times "
+        f"({audit['purge_stall_cycles']} stall cycles, "
+        f"{audit['charged_purge_cycles']} charged to latency)"
+    )
+    print(
+        f"({result.cold_count} entries simulated, {result.warm_count} warm from the "
+        f"result store, {result.wall_time_seconds:.2f}s wall)"
+    )
+
+
+if __name__ == "__main__":
+    main()

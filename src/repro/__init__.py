@@ -32,6 +32,7 @@ from repro.api import (
     Provenance,
     Result,
     ScenarioRequest,
+    ServiceRequest,
     Session,
     SweepRequest,
     WorkloadRequest,
@@ -60,6 +61,7 @@ from repro.core.variants import (
 from repro.monitor.security_monitor import SecurityMonitor
 from repro.os_model.kernel import MaliciousOS, UntrustedOS
 from repro.os_model.machine import Machine
+from repro.service import ServiceOutcome, run_service
 from repro.workloads.generator import SyntheticWorkload
 from repro.workloads.spec_cint2006 import SPEC_CINT2006, benchmark_names, profile_for
 
@@ -86,6 +88,8 @@ __all__ = [
     "SPEC_CINT2006",
     "ScenarioRequest",
     "SecurityMonitor",
+    "ServiceOutcome",
+    "ServiceRequest",
     "Session",
     "Simulator",
     "SweepRequest",
@@ -103,6 +107,7 @@ __all__ = [
     "parse_variant",
     "profile_for",
     "register_mitigation",
+    "run_service",
     "set_default_session",
     "variant_description",
 ]

@@ -41,6 +41,18 @@ from repro.core.serialization import (
     run_from_dict,
     run_to_dict,
     scenario_cache_key,
+    service_cache_key,
+)
+from repro.service.arrivals import LOAD_PROFILES
+from repro.service.schedulers import policy_names
+from repro.service.simulation import (
+    DEFAULT_SERVICE_CORES,
+    DEFAULT_SERVICE_INSTRUCTIONS,
+    DEFAULT_SERVICE_REQUESTS,
+    DEFAULT_SERVICE_TENANTS,
+    ServiceOutcome,
+    run_service,
+    tenant_benchmarks,
 )
 from repro.core.simulator import DEFAULT_SEED, Simulator
 from repro.core.variants import (
@@ -343,6 +355,284 @@ class ScenarioSpec:
 
 
 # ----------------------------------------------------------------------
+# Enclave serving
+
+#: Store document kind under which service outcomes persist.
+SERVICE_STORE_KIND = "service"
+
+#: Scheduling policies a default serving sweep compares.
+DEFAULT_SERVICE_POLICIES = ("fifo", "affinity", "batch")
+
+#: Default offered-load point of a serving sweep.
+DEFAULT_SERVICE_LOAD = 0.7
+
+
+@dataclass(frozen=True)
+class ServiceRunRequest:
+    """One fully specified enclave-serving simulation.
+
+    Like :class:`RunRequest` and :class:`ScenarioRequest`, a service
+    request carries the complete machine configuration, so its
+    content-hash identity reflects every parameter that affects the
+    outcome.  ``service_cycles`` — the benchmark → cycles table the
+    event loop consumes — is *derived* state resolved through the run
+    layer (:func:`resolve_service_cycles`); it travels in the payload so
+    pool workers never re-simulate the kernel, but it is excluded from
+    the cache key.
+    """
+
+    policy: str
+    config: MI6Config
+    seed: int = DEFAULT_SEED
+    load: float = DEFAULT_SERVICE_LOAD
+    load_profile: str = "poisson"
+    num_cores: int = DEFAULT_SERVICE_CORES
+    num_tenants: int = DEFAULT_SERVICE_TENANTS
+    num_requests: int = DEFAULT_SERVICE_REQUESTS
+    instructions: int = DEFAULT_SERVICE_INSTRUCTIONS
+    churn_every: int = 0
+    service_cycles: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    def cache_key(self) -> str:
+        """Content-hash identity of this serving run (the store key)."""
+        return service_cache_key(
+            self.policy,
+            self.config,
+            self.seed,
+            load=self.load,
+            load_profile=self.load_profile,
+            num_cores=self.num_cores,
+            num_tenants=self.num_tenants,
+            num_requests=self.num_requests,
+            instructions=self.instructions,
+            churn_every=self.churn_every,
+        )
+
+    def workload_requests(self) -> List[RunRequest]:
+        """The kernel runs whose cycle counts price this fleet's requests.
+
+        One request per distinct tenant benchmark, on exactly this
+        machine configuration — the same requests a ``sweep`` at the
+        same instruction budget would issue, so serving sweeps and
+        figure sweeps share cache entries.
+        """
+        seen: List[str] = []
+        for benchmark in tenant_benchmarks(self.num_tenants):
+            if benchmark not in seen:
+                seen.append(benchmark)
+        return [
+            RunRequest(
+                config=self.config,
+                benchmark=benchmark,
+                instructions=self.instructions,
+                seed=self.seed,
+            )
+            for benchmark in seen
+        ]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible encoding shipped to worker processes."""
+        return {
+            "policy": self.policy,
+            "config": config_to_dict(self.config),
+            "seed": self.seed,
+            "load": self.load,
+            "load_profile": self.load_profile,
+            "num_cores": self.num_cores,
+            "num_tenants": self.num_tenants,
+            "num_requests": self.num_requests,
+            "instructions": self.instructions,
+            "churn_every": self.churn_every,
+            "service_cycles": (
+                [list(pair) for pair in self.service_cycles]
+                if self.service_cycles is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ServiceRunRequest":
+        """Rebuild a request from :meth:`to_payload` output."""
+        cycles = payload.get("service_cycles")
+        return cls(
+            policy=payload["policy"],
+            config=config_from_dict(payload["config"]),
+            seed=payload["seed"],
+            load=payload["load"],
+            load_profile=payload["load_profile"],
+            num_cores=payload["num_cores"],
+            num_tenants=payload["num_tenants"],
+            num_requests=payload["num_requests"],
+            instructions=payload["instructions"],
+            churn_every=payload.get("churn_every", 0),
+            service_cycles=(
+                tuple((name, count) for name, count in cycles)
+                if cycles is not None
+                else None
+            ),
+        )
+
+
+def resolve_service_cycles(request: ServiceRunRequest) -> Dict[str, int]:
+    """Benchmark -> request service cycles, simulated directly.
+
+    The session resolves these through the result store instead (cached,
+    parallel); this fallback keeps :func:`execute_service_request` a
+    pure function of the request for pool workers and direct callers.
+    """
+    return {
+        workload.benchmark: execute_request(workload).cycles
+        for workload in request.workload_requests()
+    }
+
+
+def execute_service_request(request: ServiceRunRequest) -> ServiceOutcome:
+    """Run one serving simulation (the only place service runs happen)."""
+    cycles = (
+        dict(request.service_cycles)
+        if request.service_cycles is not None
+        else resolve_service_cycles(request)
+    )
+    return run_service(
+        request.config,
+        request.policy,
+        service_cycles=cycles,
+        seed=request.seed,
+        load=request.load,
+        load_profile=request.load_profile,
+        num_cores=request.num_cores,
+        num_tenants=request.num_tenants,
+        num_requests=request.num_requests,
+        instructions=request.instructions,
+        churn_every=request.churn_every,
+    )
+
+
+def _service_pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point for serving runs: dicts in, dicts out."""
+    return execute_service_request(ServiceRunRequest.from_payload(payload)).to_dict()
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A serving sweep: policies × variants × loads × seeds.
+
+    Requests are expanded in deterministic insertion order (policies
+    outermost, seeds innermost).  The fleet shape (cores, tenants,
+    stream length, per-request budget, churn) is shared across the
+    sweep so the grid isolates the scheduling/mitigation/load axes.
+    """
+
+    policies: Tuple[str, ...] = DEFAULT_SERVICE_POLICIES
+    variants: Tuple[VariantLike, ...] = DEFAULT_SCENARIO_VARIANTS
+    loads: Tuple[float, ...] = (DEFAULT_SERVICE_LOAD,)
+    seeds: Tuple[int, ...] = (DEFAULT_SEED,)
+    load_profile: str = "poisson"
+    num_cores: int = DEFAULT_SERVICE_CORES
+    num_tenants: int = DEFAULT_SERVICE_TENANTS
+    num_requests: int = DEFAULT_SERVICE_REQUESTS
+    instructions: int = DEFAULT_SERVICE_INSTRUCTIONS
+    churn_every: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        policies: Optional[Sequence[str]] = None,
+        variants: Optional[Sequence[VariantLike]] = None,
+        loads: Optional[Sequence[float]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        load_profile: str = "poisson",
+        num_cores: int = DEFAULT_SERVICE_CORES,
+        num_tenants: int = DEFAULT_SERVICE_TENANTS,
+        num_requests: int = DEFAULT_SERVICE_REQUESTS,
+        instructions: int = DEFAULT_SERVICE_INSTRUCTIONS,
+        churn_every: int = 0,
+    ) -> "ServiceSpec":
+        """Spec with serving defaults for anything omitted.
+
+        Defaults (for ``None`` arguments): all three shipped policies,
+        the BASE-vs-F+P+M+A comparison, one 0.7-load point, and the
+        environment-controlled seed.  Policy names, the load profile,
+        and the numeric parameters are validated here rather than at run
+        time.
+        """
+        for name, value in (
+            ("policies", policies),
+            ("variants", variants),
+            ("loads", loads),
+            ("seeds", seeds),
+        ):
+            if value is not None and len(value) == 0:
+                raise ValueError(f"{name} must not be empty (pass None for the default)")
+        known = policy_names()
+        if policies is not None:
+            unknown = [name for name in policies if name not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown scheduling policy(ies): {', '.join(unknown)} "
+                    f"(expected: {', '.join(known)})"
+                )
+        if load_profile not in LOAD_PROFILES:
+            raise ValueError(
+                f"unknown load profile {load_profile!r} "
+                f"(expected one of: {', '.join(LOAD_PROFILES)})"
+            )
+        if loads is not None and any(load <= 0.0 for load in loads):
+            raise ValueError("loads must be positive fractions of fleet capacity")
+        if num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        if num_tenants < 1:
+            raise ValueError("num_tenants must be positive")
+        if num_requests < 1:
+            raise ValueError("num_requests must be positive")
+        if instructions < 1:
+            raise ValueError("instructions must be positive")
+        if churn_every < 0:
+            raise ValueError("churn_every must be non-negative")
+        settings = EvaluationSettings.from_environment()
+        return cls(
+            policies=tuple(policies) if policies is not None else DEFAULT_SERVICE_POLICIES,
+            variants=(
+                tuple(variants) if variants is not None else DEFAULT_SCENARIO_VARIANTS
+            ),
+            loads=tuple(loads) if loads is not None else (DEFAULT_SERVICE_LOAD,),
+            seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+            load_profile=load_profile,
+            num_cores=num_cores,
+            num_tenants=num_tenants,
+            num_requests=num_requests,
+            instructions=instructions,
+            churn_every=churn_every,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of serving simulations in the sweep."""
+        return len(self.policies) * len(self.variants) * len(self.loads) * len(self.seeds)
+
+    def requests(self) -> List[ServiceRunRequest]:
+        """Expand the sweep into service requests (deterministic order)."""
+        return [
+            ServiceRunRequest(
+                policy=policy,
+                config=evaluation_config(variant, self.instructions),
+                seed=seed,
+                load=load,
+                load_profile=self.load_profile,
+                num_cores=self.num_cores,
+                num_tenants=self.num_tenants,
+                num_requests=self.num_requests,
+                instructions=self.instructions,
+                churn_every=self.churn_every,
+            )
+            for policy in self.policies
+            for variant in self.variants
+            for load in self.loads
+            for seed in self.seeds
+        ]
+
+
+# ----------------------------------------------------------------------
 # Sweeps
 
 
@@ -524,23 +814,26 @@ class ParallelRunner:
                 pending[key] = positions
                 pending_requests[key] = requests[positions[0]]
         if pending:
-            keys = list(pending)
-            if self.jobs == 1 or len(keys) == 1:
-                produced = [execute(pending_requests[key]) for key in keys]
+            pending_keys = list(pending)
+            if self.jobs == 1 or len(pending_keys) == 1:
+                produced = [execute(pending_requests[key]) for key in pending_keys]
             else:
-                payloads = [pending_requests[key].to_payload() for key in keys]
+                payloads = [pending_requests[key].to_payload() for key in pending_keys]
                 with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(keys))
+                    max_workers=min(self.jobs, len(pending_keys))
                 ) as pool:
                     produced = [
                         decode(encoded)
                         for encoded in pool.map(pool_worker, payloads)
                     ]
-            for key, result in zip(keys, produced):
+            for key, result in zip(pending_keys, produced):
                 persist(key, result)
                 self.executed_runs += 1
                 for position in pending[key]:
                     results[position] = result
+        # `keys` stays the full position-aligned list (one per request),
+        # NOT the deduplicated pending subset: provenance consumers zip
+        # it against the request sequence.
         self.last_origins = origins
         self.last_keys = keys
         return results
@@ -600,3 +893,43 @@ class ParallelRunner:
         """Execute a full security sweep, pairing requests with outcomes."""
         requests = spec.requests()
         return list(zip(requests, self.run_scenarios(requests)))
+
+    # ------------------------------------------------------------------
+    # Enclave serving
+
+    def run_services(
+        self, requests: Sequence[ServiceRunRequest]
+    ) -> List[ServiceOutcome]:
+        """Execute serving requests, returning outcomes in request order.
+
+        Mirrors :meth:`run_scenarios`: outcomes persist in the store's
+        document layer under :data:`SERVICE_STORE_KIND` and cache misses
+        fan out over the process pool, bit-identical either way.  The
+        caller (the Session) normally resolves each request's
+        ``service_cycles`` through the run layer first so the event loop
+        never re-simulates the kernel; requests shipped without a table
+        compute it inline (still deterministic, just slower).
+        """
+
+        def lookup(key: str) -> Optional[ServiceOutcome]:
+            payload = self.store.get_payload(SERVICE_STORE_KIND, key)
+            return ServiceOutcome.from_dict(payload) if payload is not None else None
+
+        def persist(key: str, outcome: ServiceOutcome) -> None:
+            self.store.put_payload(SERVICE_STORE_KIND, key, outcome.to_dict())
+
+        return self._execute_through_store(
+            requests,
+            lookup=lookup,
+            persist=persist,
+            execute=execute_service_request,
+            pool_worker=_service_pool_worker,
+            decode=ServiceOutcome.from_dict,
+        )
+
+    def run_service_spec(
+        self, spec: ServiceSpec
+    ) -> List[Tuple[ServiceRunRequest, ServiceOutcome]]:
+        """Execute a full serving sweep, pairing requests with outcomes."""
+        requests = spec.requests()
+        return list(zip(requests, self.run_services(requests)))

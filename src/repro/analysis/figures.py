@@ -20,10 +20,16 @@ from repro.analysis.harness import (
     runtime_overhead_metric,
 )
 from repro.analysis.store import ResultStore
-from repro.api.requests import ScenarioRequest
+from repro.api.requests import ScenarioRequest, ServiceRequest
 from repro.api.session import coerce_session
 from repro.core.mitigations import VariantLike
 from repro.core.variants import Variant, config_for_variant
+from repro.service.simulation import (
+    DEFAULT_SERVICE_CORES,
+    DEFAULT_SERVICE_INSTRUCTIONS,
+    DEFAULT_SERVICE_REQUESTS,
+    DEFAULT_SERVICE_TENANTS,
+)
 from repro.workloads.characteristics import PAPER_REPORTED
 
 FigureResult = Tuple[str, Dict[str, float], Dict[str, float]]
@@ -178,6 +184,87 @@ def aggregate_leakage_rows(outcomes) -> Dict[str, Dict[str, str]]:
         }
         for scenario, cells in tallies.items()
     }
+
+
+#: Title of the enclave-serving latency table.
+SERVICE_TABLE_TITLE = "Enclave serving: latency and boundary-cost shares (policy x variant x load)"
+
+
+def service_latency_rows(outcomes) -> list:
+    """Flatten :class:`ServiceOutcome` values into latency-table rows.
+
+    One row per outcome, in expansion order, with the fields
+    :func:`repro.analysis.report.format_service_table` renders; the
+    flush/purge shares are fractions of fleet busy time.  Used by
+    :func:`service_latency_table` and by the CLI, which already holds
+    the outcomes from its own sweep.
+    """
+    rows = []
+    for outcome in outcomes:
+        busy = sum(row["busy_cycles"] for row in outcome.per_core)
+        rows.append(
+            {
+                "policy": outcome.policy,
+                "variant": outcome.variant,
+                "load": outcome.load,
+                "seed": outcome.seed,
+                "p50": outcome.latency["p50"],
+                "p95": outcome.latency["p95"],
+                "p99": outcome.latency["p99"],
+                "mean": outcome.latency["mean"],
+                "throughput_rpmc": outcome.throughput_rpmc,
+                "utilization": outcome.utilization,
+                "purge_share": outcome.charged_purge_cycles / busy if busy else 0.0,
+                "flush_share": outcome.charged_flush_cycles / busy if busy else 0.0,
+                "switches": outcome.switches,
+                "affinity_hits": outcome.affinity_hits,
+            }
+        )
+    return rows
+
+
+def service_latency_table(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    policies: Optional[Tuple[str, ...]] = None,
+    variants: Optional[Tuple[VariantLike, ...]] = None,
+    loads: Optional[Tuple[float, ...]] = None,
+    seeds: Optional[Tuple[int, ...]] = None,
+    load_profile: str = "poisson",
+    num_cores: int = DEFAULT_SERVICE_CORES,
+    num_tenants: int = DEFAULT_SERVICE_TENANTS,
+    requests: int = DEFAULT_SERVICE_REQUESTS,
+    instructions: int = DEFAULT_SERVICE_INSTRUCTIONS,
+    churn_every: int = 0,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> Tuple[str, list]:
+    """Serving evaluation: tail latency per scheduling policy × variant.
+
+    Runs the enclave-serving sweep through the Session API — per-request
+    cycle costs and serving outcomes are both served from the session's
+    store when warm — and flattens the outcomes into the rows
+    :func:`repro.analysis.report.format_service_table` renders.  This is
+    the figure the paper doesn't have: its per-switch purge/flush costs
+    expressed as p95/p99 request latency under open-loop load.
+    """
+    settings = settings or EvaluationSettings.from_environment()
+    session = coerce_session(store, jobs)
+    result = session.run(
+        ServiceRequest(
+            policies=policies,
+            variants=variants,
+            loads=loads,
+            seeds=seeds if seeds is not None else (settings.seed,),
+            load_profile=load_profile,
+            num_cores=num_cores,
+            num_tenants=num_tenants,
+            requests=requests,
+            instructions=instructions,
+            churn_every=churn_every,
+        )
+    )
+    return SERVICE_TABLE_TITLE, service_latency_rows(result.service_outcomes)
 
 
 def security_leakage_table(

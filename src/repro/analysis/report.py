@@ -66,6 +66,34 @@ def format_security_table(title: str, rows: Mapping[str, Mapping[str, str]]) -> 
     return "\n".join(lines)
 
 
+def format_service_table(title: str, rows: Iterable[Mapping]) -> str:
+    """Render the serving sweep's policy × variant × load latency grid.
+
+    ``rows`` are flat dicts as produced by
+    :func:`repro.analysis.figures.service_latency_rows`: policy,
+    variant, load, p50/p95/p99 (cycles), throughput (requests per
+    million cycles), utilization, and the charged purge/flush cycle
+    share of fleet busy time.
+    """
+    rows = list(rows)
+    width = max([10] + [len(str(row["variant"])) for row in rows])
+    lines = [title, "-" * len(title)]
+    header = (
+        f"{'policy':<10} {'variant':<{width}} {'load':>5} "
+        f"{'p50':>9} {'p95':>9} {'p99':>9} {'req/Mcyc':>9} "
+        f"{'util':>6} {'purge%':>7} {'flush%':>7}"
+    )
+    lines.append(header)
+    for row in rows:
+        lines.append(
+            f"{row['policy']:<10} {row['variant']:<{width}} {row['load']:>5.2f} "
+            f"{row['p50']:>9} {row['p95']:>9} {row['p99']:>9} "
+            f"{row['throughput_rpmc']:>9.1f} {row['utilization']:>6.2f} "
+            f"{100.0 * row['purge_share']:>6.1f}% {100.0 * row['flush_share']:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
 def format_comparison_table(rows: Dict[str, tuple], title: str = "") -> str:
     """Render rows of ``name -> (measured, paper)`` pairs."""
     lines = []

@@ -12,7 +12,8 @@ The one front door every consumer goes through:
 * :class:`Session` — owns the result store, the parallel runner, the
   evaluation settings, and the registries;
 * :class:`WorkloadRequest` / :class:`SweepRequest` /
-  :class:`ScenarioRequest` — the typed request hierarchy;
+  :class:`ScenarioRequest` / :class:`ServiceRequest` — the typed
+  request hierarchy;
 * :class:`Result` / :class:`ResultEntry` / :class:`Provenance` — the
   uniform result envelope (content-hash cache key, schema version,
   cold/warm origin, wall time);
@@ -28,6 +29,7 @@ member, or a :class:`~repro.core.mitigations.MitigationSet`.
 from repro.api.requests import (
     Request,
     ScenarioRequest,
+    ServiceRequest,
     SweepRequest,
     WorkloadRequest,
 )
@@ -45,6 +47,7 @@ __all__ = [
     "Result",
     "ResultEntry",
     "ScenarioRequest",
+    "ServiceRequest",
     "Session",
     "SweepRequest",
     "WorkloadRequest",

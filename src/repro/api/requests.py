@@ -31,11 +31,18 @@ from repro.analysis.engine import (
     ExperimentSpec,
     RunRequest,
     ScenarioSpec,
+    ServiceSpec,
     request_for,
 )
 from repro.analysis.engine import ScenarioRequest as EngineScenarioRequest
 from repro.core.config import MI6Config
 from repro.core.mitigations import VariantLike
+from repro.service.simulation import (
+    DEFAULT_SERVICE_CORES,
+    DEFAULT_SERVICE_INSTRUCTIONS,
+    DEFAULT_SERVICE_REQUESTS,
+    DEFAULT_SERVICE_TENANTS,
+)
 
 
 @dataclass(frozen=True)
@@ -137,13 +144,53 @@ class ScenarioRequest:
         )
 
 
+@dataclass(frozen=True)
+class ServiceRequest:
+    """An enclave-serving sweep: policies × variants × loads × seeds.
+
+    ``None`` fields resolve to all three shipped scheduling policies,
+    the paper's BASE-vs-F+P+M+A comparison, one 0.7-load point, and the
+    session seed.  The fleet shape — ``num_cores`` serving cores,
+    ``num_tenants`` tenant enclaves, ``requests`` open-loop arrivals of
+    ``instructions``-long work, optional churn — is shared across the
+    grid so the sweep isolates the scheduling/mitigation/load axes.
+    """
+
+    policies: Optional[Sequence[str]] = None
+    variants: Optional[Sequence[VariantLike]] = None
+    loads: Optional[Sequence[float]] = None
+    seeds: Optional[Sequence[int]] = None
+    load_profile: str = "poisson"
+    num_cores: int = DEFAULT_SERVICE_CORES
+    num_tenants: int = DEFAULT_SERVICE_TENANTS
+    requests: int = DEFAULT_SERVICE_REQUESTS
+    instructions: int = DEFAULT_SERVICE_INSTRUCTIONS
+    churn_every: int = 0
+
+    def resolve(self, settings: EvaluationSettings) -> ServiceSpec:
+        """Lower onto the engine's serving spec."""
+        return ServiceSpec.create(
+            policies=self.policies,
+            variants=self.variants,
+            loads=self.loads,
+            seeds=self.seeds if self.seeds is not None else (settings.seed,),
+            load_profile=self.load_profile,
+            num_cores=self.num_cores,
+            num_tenants=self.num_tenants,
+            num_requests=self.requests,
+            instructions=self.instructions,
+            churn_every=self.churn_every,
+        )
+
+
 #: Any request the Session accepts.
-Request = Union[WorkloadRequest, SweepRequest, ScenarioRequest]
+Request = Union[WorkloadRequest, SweepRequest, ScenarioRequest, ServiceRequest]
 
 __all__ = [
     "EngineScenarioRequest",
     "Request",
     "ScenarioRequest",
+    "ServiceRequest",
     "SweepRequest",
     "WorkloadRequest",
 ]

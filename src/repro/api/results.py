@@ -21,6 +21,7 @@ from repro.analysis.engine import ExperimentResult
 from repro.attacks.scenarios import ScenarioOutcome
 from repro.core.mitigations import VariantLike, spec_name
 from repro.core.processor import WorkloadRun
+from repro.service.simulation import ServiceOutcome
 
 
 @dataclass(frozen=True)
@@ -34,11 +35,16 @@ class Provenance:
         schema_version: Serialisation schema the entry is stored under.
         origin: ``"cold"`` (simulated by this call) or ``"warm"``
             (served from the result store).
+        purge: For serving entries, the purge audit behind the numbers —
+            total monitor purges, their stall cycles, the cycles
+            actually charged to latency, and the per-core breakdown
+            (``None`` for entry kinds without enclave boundaries).
     """
 
     cache_key: str
     schema_version: int
     origin: str
+    purge: Optional[Dict[str, Any]] = None
 
     @property
     def warm(self) -> bool:
@@ -173,4 +179,13 @@ class Result:
             entry.value
             for entry in self.entries
             if isinstance(entry.value, ScenarioOutcome)
+        ]
+
+    @property
+    def service_outcomes(self) -> List[ServiceOutcome]:
+        """All enclave-serving outcomes, in expansion order."""
+        return [
+            entry.value
+            for entry in self.entries
+            if isinstance(entry.value, ServiceOutcome)
         ]

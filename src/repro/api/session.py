@@ -20,6 +20,7 @@ process so BASE runs are computed once, re-pointable by the CLI via
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.engine import (
@@ -32,6 +33,7 @@ from repro.analysis.store import ResultStore
 from repro.api.requests import (
     Request,
     ScenarioRequest,
+    ServiceRequest,
     SweepRequest,
     WorkloadRequest,
 )
@@ -45,6 +47,7 @@ from repro.core.mitigations import (
     known_mitigations,
 )
 from repro.core.serialization import SCHEMA_VERSION
+from repro.service.schedulers import policy_description, policy_names
 from repro.workloads.spec_cint2006 import benchmark_names
 
 
@@ -90,6 +93,10 @@ class Session:
         """Registered security scenarios and their descriptions."""
         return {name: scenario_description(name) for name in scenario_names()}
 
+    def policies(self) -> Dict[str, str]:
+        """Registered serving scheduling policies and their descriptions."""
+        return {name: policy_description(name) for name in policy_names()}
+
     def benchmarks(self) -> List[str]:
         """Calibrated benchmark profile names, in paper order."""
         return benchmark_names()
@@ -114,19 +121,27 @@ class Session:
             return self._run_sweep(request)
         if isinstance(request, ScenarioRequest):
             return self._run_scenarios(request)
+        if isinstance(request, ServiceRequest):
+            return self._run_service(request)
         raise TypeError(
             f"unsupported request type {type(request).__name__!r} "
-            "(expected WorkloadRequest, SweepRequest, or ScenarioRequest)"
+            "(expected WorkloadRequest, SweepRequest, ScenarioRequest, or "
+            "ServiceRequest)"
         )
 
     def _entries_for(
-        self, values: Sequence[Any], keys: Sequence[tuple]
+        self,
+        values: Sequence[Any],
+        keys: Sequence[tuple],
+        purge_audits: Optional[Sequence[Optional[Dict[str, Any]]]] = None,
     ) -> List[ResultEntry]:
         # Snapshot the runner's per-request bookkeeping immediately: the
         # cache keys were already computed during execution (no
         # re-hashing here) and the origins belong to exactly this call.
         cache_keys = list(self.runner.last_keys)
         origins = list(self.runner.last_origins)
+        if purge_audits is None:
+            purge_audits = [None] * len(keys)
         return [
             ResultEntry(
                 key=key,
@@ -135,9 +150,12 @@ class Session:
                     cache_key=cache_key,
                     schema_version=SCHEMA_VERSION,
                     origin=origin,
+                    purge=purge,
                 ),
             )
-            for value, key, cache_key, origin in zip(values, keys, cache_keys, origins)
+            for value, key, cache_key, origin, purge in zip(
+                values, keys, cache_keys, origins, purge_audits
+            )
         ]
 
     def _run_workload(self, request: WorkloadRequest) -> Result:
@@ -186,6 +204,57 @@ class Session:
             wall_time_seconds=elapsed,
         )
 
+    def _run_service(self, request: ServiceRequest) -> Result:
+        spec = request.resolve(self.settings)
+        engine_requests = spec.requests()
+        started = time.perf_counter()
+        # Price the fleet's requests through the run layer first: the
+        # per-benchmark cycle costs are served from (and persisted to)
+        # the session's store, so the event loop never simulates the
+        # kernel and a warm rerun touches no simulation at all.
+        workload_lists = [
+            service_request.workload_requests() for service_request in engine_requests
+        ]
+        flat = [workload for group in workload_lists for workload in group]
+        runs = self.runner.run(flat) if flat else []
+        resolved = []
+        cursor = 0
+        for service_request, group in zip(engine_requests, workload_lists):
+            table = tuple(
+                sorted(
+                    (workload.benchmark, run.cycles)
+                    for workload, run in zip(group, runs[cursor : cursor + len(group)])
+                )
+            )
+            cursor += len(group)
+            resolved.append(replace(service_request, service_cycles=table))
+        outcomes = self.runner.run_services(resolved)
+        elapsed = time.perf_counter() - started
+        keys = [
+            (
+                service_request.policy,
+                service_request.config.name,
+                service_request.load,
+                service_request.seed,
+            )
+            for service_request in engine_requests
+        ]
+        purge_audits = [
+            {
+                "purge_count": outcome.purge_count,
+                "purge_stall_cycles": outcome.purge_stall_cycles,
+                "charged_purge_cycles": outcome.charged_purge_cycles,
+                "charged_flush_cycles": outcome.charged_flush_cycles,
+                "per_core": [dict(row) for row in outcome.per_core],
+            }
+            for outcome in outcomes
+        ]
+        return Result(
+            request=request,
+            entries=self._entries_for(outcomes, keys, purge_audits),
+            wall_time_seconds=elapsed,
+        )
+
     # ------------------------------------------------------------------
     # One-line conveniences (build the request, run it)
 
@@ -219,6 +288,15 @@ class Session:
         return self.run(
             ScenarioRequest(scenarios=scenarios, variants=variants, **fields)
         )
+
+    def serve(
+        self,
+        policies: Optional[Sequence[str]] = None,
+        variants: Optional[Sequence[VariantLike]] = None,
+        **fields: Any,
+    ) -> Result:
+        """Run the enclave-serving sweep (policies × variants × loads)."""
+        return self.run(ServiceRequest(policies=policies, variants=variants, **fields))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -127,17 +127,11 @@ class ScenarioOutcome:
 def mi6_protection_enabled(config: MI6Config) -> bool:
     """Whether the machine ships the MI6 protection hardware.
 
-    The DRAM-region protection checker (Section 5.3) is part of every
-    secured MI6 machine; the insecure BASE processor has none.  Any of
-    the variant switches marks the machine as an MI6 build.
+    Kept as the historical entry point; the logic lives on the
+    configuration itself (:attr:`MI6Config.has_protection_hardware`) so
+    the OS-model machine and the serving subsystem share it.
     """
-    return bool(
-        config.flush_on_context_switch
-        or config.set_partition_llc
-        or config.partition_mshrs
-        or config.llc_arbiter
-        or config.nonspec_memory
-    )
+    return config.has_protection_hardware
 
 
 # ----------------------------------------------------------------------

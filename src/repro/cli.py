@@ -10,6 +10,9 @@ Examples::
     repro-bench attack
     repro-bench attack prime_probe contention --variants BASE PART --jobs 2
     repro-bench attack --num-cores 4 --variants BASE FLUSH+MISS
+    repro-bench serve
+    repro-bench serve --policy fifo batch --load 0.6 0.9 --profile bursty
+    repro-bench serve --variants BASE F+P+M+A --num-cores 8 --tenants 12 --json
     repro-bench perf
     repro-bench perf --instructions 20000 --baseline benchmarks/perf_baseline.json
     repro-bench list
@@ -33,10 +36,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis import figures
 from repro.analysis.engine import EvaluationSettings
-from repro.analysis.report import format_security_table, format_series_table
+from repro.analysis.report import (
+    format_security_table,
+    format_series_table,
+    format_service_table,
+)
 from repro.analysis.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.api import (
     ScenarioRequest,
+    ServiceRequest,
     Session,
     SweepRequest,
     set_default_session,
@@ -45,6 +53,13 @@ from repro.attacks.scenarios import scenario_names
 from repro.common.errors import ConfigurationError
 from repro.core.mitigations import known_compositions, known_mitigations
 from repro.core.variants import parse_variant
+from repro.service import (
+    DEFAULT_SERVICE_CORES,
+    DEFAULT_SERVICE_INSTRUCTIONS,
+    DEFAULT_SERVICE_REQUESTS,
+    DEFAULT_SERVICE_TENANTS,
+    LOAD_PROFILES,
+)
 from repro.perf import (
     DEFAULT_SUITE_INSTRUCTIONS,
     PINNED_SEED,
@@ -52,6 +67,7 @@ from repro.perf import (
     calibration_score,
     compare_to_baseline,
     load_bench,
+    run_service_case,
     run_suite,
 )
 from repro.workloads.spec_cint2006 import benchmark_names
@@ -382,12 +398,86 @@ def _command_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Policy names, the load profile, and the numeric parameters are
+    # validated by ServiceSpec.create; its ValueError lands in the
+    # except below with the registry's own message.
+    try:
+        variants = _parse_variants(args.variants)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    session = _build_session(args)
+    settings = _settings(args)
+    try:
+        result = session.run(
+            ServiceRequest(
+                policies=args.policy or None,
+                variants=variants,
+                loads=args.load or None,
+                seeds=args.seeds or [settings.seed],
+                load_profile=args.profile,
+                num_cores=args.num_cores,
+                num_tenants=args.tenants,
+                requests=args.requests,
+                instructions=args.instructions
+                if args.instructions is not None
+                else DEFAULT_SERVICE_INSTRUCTIONS,
+                churn_every=args.churn_every,
+            )
+        )
+    except (ValueError, ConfigurationError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.json:
+        entries = []
+        for entry in result.entries:
+            policy, variant_name, load, seed = entry.key
+            entries.append(
+                {
+                    "policy": policy,
+                    "variant": variant_name,
+                    "load": load,
+                    "seed": seed,
+                    "outcome": entry.value.to_dict(),
+                    "cache_key": entry.provenance.cache_key,
+                    "origin": entry.provenance.origin,
+                    "purge": entry.provenance.purge,
+                }
+            )
+        # No wall time inside the document: outcome payloads are
+        # bit-identical across repeated seeded invocations and across
+        # --jobs settings (with --no-cache the whole document is), and
+        # only "origin"/"cache" distinguish a cold run from a warm one.
+        print(
+            json.dumps(
+                {
+                    "command": "serve",
+                    "entries": entries,
+                    "cache": _cache_summary_dict(session),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    rows = figures.service_latency_rows(result.service_outcomes)
+    print(format_service_table(figures.SERVICE_TABLE_TITLE, rows))
+    _print_cache_summary(session, result.wall_time_seconds)
+    return 0
+
+
 def _command_perf(args: argparse.Namespace) -> int:
     result = run_suite(
         instructions=args.instructions, seed=args.seed, components=args.components
     )
+    service = None if args.no_service else run_service_case()
     recorder = BenchRecorder(args.output_dir)
-    record = recorder.build_record(result, calibration=calibration_score())
+    record = recorder.build_record(
+        result, calibration=calibration_score(), service=service
+    )
     record_path = None
     if not args.no_record:
         # The printed/diffed record and the written file are the same
@@ -414,6 +504,7 @@ def _command_perf(args: argparse.Namespace) -> int:
                 "path": str(args.baseline),
                 "ratio": comparison.ratio,
                 "raw_ratio": comparison.raw_ratio,
+                "service_ratio": comparison.service_ratio,
                 "max_regression_percent": args.max_regression,
                 "regressed": comparison.regressed,
             }
@@ -446,17 +537,28 @@ def _command_perf(args: argparse.Namespace) -> int:
             f"calibration {record['calibration_mops']:.1f} Mops, "
             f"normalized {aggregate['normalized_throughput']:.1f}"
         )
+        if service is not None:
+            service_record = record["service"]
+            print(
+                f"service ({service_record['policy']}/{service_record['variant']}): "
+                f"{service_record['requests']} requests in "
+                f"{service_record['wall_seconds']:.3f}s = "
+                f"{service_record['requests_per_second']:.0f} req/s, "
+                f"normalized {service_record['normalized_throughput']:.1f}"
+            )
         if record["slow_path"]:
             print("note: REPRO_SLOW_PATH is active (reference kernel)")
         if record_path is not None:
             print(f"wrote {record_path}")
         if comparison is not None:
             verdict = "REGRESSED" if comparison.regressed else "ok"
-            print(
+            line = (
                 f"baseline {args.baseline}: {comparison.ratio:.2f}x normalized "
-                f"({comparison.raw_ratio:.2f}x raw), "
-                f"gate -{args.max_regression:.0f}% -> {verdict}"
+                f"({comparison.raw_ratio:.2f}x raw)"
             )
+            if comparison.service_ratio is not None:
+                line += f", service {comparison.service_ratio:.2f}x"
+            print(f"{line}, gate -{args.max_regression:.0f}% -> {verdict}")
     if comparison is not None and comparison.regressed:
         return 1
     return 0
@@ -480,6 +582,9 @@ def _command_list(_args: argparse.Namespace) -> int:
     print("scenarios:")
     session = Session(ResultStore.in_memory())
     for name, description in session.scenarios().items():
+        print(f"  {name:<16} {description}")
+    print("serving policies:")
+    for name, description in session.policies().items():
         print(f"  {name:<16} {description}")
     return 0
 
@@ -590,6 +695,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(attack, instructions=False)
     attack.set_defaults(handler=_command_attack)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="simulate an enclave fleet serving an open-loop request stream",
+    )
+    serve.add_argument(
+        "--policy",
+        nargs="+",
+        default=None,
+        metavar="POLICY",
+        help="scheduling policies (default: fifo affinity batch)",
+    )
+    serve.add_argument(
+        "--variants",
+        nargs="+",
+        default=None,
+        help="mitigation specs, e.g. BASE FLUSH+MISS (default: BASE and F+P+M+A)",
+    )
+    serve.add_argument(
+        "--load",
+        nargs="+",
+        type=float,
+        default=None,
+        help="offered load points as fractions of fleet capacity (default: 0.7)",
+    )
+    serve.add_argument(
+        "--profile",
+        choices=LOAD_PROFILES,
+        default="poisson",
+        help="arrival process shape (default: poisson)",
+    )
+    serve.add_argument(
+        "--num-cores",
+        type=int,
+        default=DEFAULT_SERVICE_CORES,
+        help=f"serving cores of the machine (default {DEFAULT_SERVICE_CORES})",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=DEFAULT_SERVICE_TENANTS,
+        help=f"tenant enclaves sharing the machine (default {DEFAULT_SERVICE_TENANTS})",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=DEFAULT_SERVICE_REQUESTS,
+        help=f"open-loop requests per simulation (default {DEFAULT_SERVICE_REQUESTS})",
+    )
+    serve.add_argument(
+        "--churn-every",
+        type=int,
+        default=0,
+        help="destroy+recreate a tenant's enclave after N of its requests (default off)",
+    )
+    serve.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help=f"instructions per request (default {DEFAULT_SERVICE_INSTRUCTIONS}; "
+        "short requests are where enclave boundary costs surface)",
+    )
+    serve.add_argument(
+        "--seeds", nargs="+", type=int, default=None, help="seeds (default: the sweep seed)"
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="print entries and the cache summary as JSON (for CI and scripts)",
+    )
+    _add_common_arguments(serve, instructions=False)
+    serve.set_defaults(handler=_command_serve)
+
     perf = subparsers.add_parser(
         "perf",
         help="measure simulator throughput on the pinned suite and record a BENCH file",
@@ -623,6 +800,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument(
         "--no-record", action="store_true", help="measure only; write no BENCH file"
+    )
+    perf.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the pinned enclave-serving event-loop case",
     )
     perf.add_argument(
         "--components",

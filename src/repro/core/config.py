@@ -71,6 +71,22 @@ class MI6Config:
     # ------------------------------------------------------------------
     # Derived configurations
 
+    @property
+    def has_protection_hardware(self) -> bool:
+        """Whether the machine ships the MI6 protection hardware.
+
+        The DRAM-region protection checker (Section 5.3) is part of
+        every secured MI6 machine; the insecure BASE processor has none.
+        Any of the variant switches marks the machine as an MI6 build.
+        """
+        return bool(
+            self.flush_on_context_switch
+            or self.set_partition_llc
+            or self.partition_mshrs
+            or self.llc_arbiter
+            or self.nonspec_memory
+        )
+
     def effective_core_config(self) -> CoreConfig:
         """Core configuration with the variant switches applied."""
         return replace(

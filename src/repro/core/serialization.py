@@ -146,6 +146,49 @@ def scenario_cache_key(
     )
 
 
+def service_cache_key(
+    policy: str,
+    config: MI6Config,
+    seed: int,
+    *,
+    load: float,
+    load_profile: str,
+    num_cores: int,
+    num_tenants: int,
+    num_requests: int,
+    instructions: int,
+    churn_every: int = 0,
+) -> str:
+    """Canonical cache key for one enclave-serving simulation.
+
+    Mirrors :func:`run_cache_key` and :func:`scenario_cache_key`: the
+    digest covers the complete machine configuration plus every serving
+    parameter the event loop consumes (policy, load point and profile,
+    fleet shape, request stream length, per-request instruction budget,
+    churn period), under its own ``kind`` discriminator.  The per-
+    benchmark service-cycle table is deliberately *not* part of the key:
+    it is derived deterministically from ``(config, instructions,
+    seed)`` through the run layer, so hashing it would only duplicate
+    information already covered.
+    """
+    return _digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": "service",
+            "policy": policy,
+            "config": config_to_dict(config),
+            "seed": seed,
+            "load": load,
+            "load_profile": load_profile,
+            "num_cores": num_cores,
+            "num_tenants": num_tenants,
+            "num_requests": num_requests,
+            "instructions": instructions,
+            "churn_every": churn_every,
+        }
+    )
+
+
 # ----------------------------------------------------------------------
 # Results
 

@@ -43,11 +43,19 @@ OS_DOMAIN_ID = 1
 
 @dataclass
 class MonitorCallResult:
-    """Outcome of a monitor call (success flag plus optional detail)."""
+    """Outcome of a monitor call (success flag plus optional detail).
+
+    Scheduling calls also carry their purge audit — which core was
+    purged, the stall it cost, and the core's cumulative purge count —
+    so callers (the serving subsystem in particular) can account for
+    every boundary crossing without reaching into the machine.
+    """
 
     success: bool
     detail: str = ""
     purge_stall_cycles: int = 0
+    core_id: Optional[int] = None
+    purge_count: Optional[int] = None
 
 
 @dataclass
@@ -202,7 +210,13 @@ class SecurityMonitor:
         enclave.domain.cores.add(core_id)
         core.install_domain(enclave.domain)
         enclave.state = EnclaveState.RUNNING
-        return MonitorCallResult(success=True, detail="scheduled", purge_stall_cycles=stall)
+        return MonitorCallResult(
+            success=True,
+            detail="scheduled",
+            purge_stall_cycles=stall,
+            core_id=core_id,
+            purge_count=core.purge_count,
+        )
 
     def deschedule_enclave(self, enclave: Enclave, core_id: int) -> MonitorCallResult:
         """Remove an enclave from a core, purging before handing it back."""
@@ -214,7 +228,13 @@ class SecurityMonitor:
         os_domain = self.domains.get(OS_DOMAIN_ID)
         core.install_domain(os_domain)
         enclave.state = EnclaveState.SUSPENDED if enclave.is_alive else enclave.state
-        return MonitorCallResult(success=True, detail="descheduled", purge_stall_cycles=stall)
+        return MonitorCallResult(
+            success=True,
+            detail="descheduled",
+            purge_stall_cycles=stall,
+            core_id=core_id,
+            purge_count=core.purge_count,
+        )
 
     def destroy_enclave(self, enclave: Enclave) -> MonitorCallResult:
         """Destroy an enclave: purge its cores, scrub its regions, free them."""

@@ -152,12 +152,18 @@ class MaliciousOS(UntrustedOS):
     def probe_enclave_memory(self, enclave: Enclave, core_id: int = 0) -> bool:
         """Probe enclave physical memory from an OS-controlled core.
 
-        Returns True if any access was emitted to the memory system —
-        which the per-core DRAM-region bitvector must prevent.
+        The OS owns its own page tables, so it first maps the enclave's
+        frame into them — nothing stops that write.  What must stop the
+        *access* that follows is the per-core DRAM-region bitvector
+        checker (Section 5.3): present on every MI6 build, absent on the
+        insecure baseline.  Returns True if the access was emitted to
+        the memory system, i.e. the secret's cache/DRAM footprint became
+        observable.
         """
         core = self.machine.core(core_id)
-        blocked_before = self.machine.stats.value("protection.blocked_accesses")
         target = self.machine.address_map.region_base(min(enclave.domain.regions))
+        self.domain.page_table.map_page(target, target)
+        blocked_before = self.machine.stats.value("protection.blocked_accesses")
         access = core.hierarchy.data_access(target)
         blocked_after = self.machine.stats.value("protection.blocked_accesses")
         emitted = access.physical_address is not None and not access.blocked_by_protection

@@ -27,7 +27,15 @@ from repro.ooo.core import OutOfOrderCore
 
 @dataclass
 class CoreComplex:
-    """One core plus its private structures and protection state."""
+    """One core plus its private structures and protection state.
+
+    ``enforce_protection`` mirrors the presence of the MI6 protection
+    hardware (:attr:`repro.core.config.MI6Config.has_protection_hardware`):
+    on an insecure BASE machine the region bitvectors still track domain
+    ownership but are not wired into the access path, so a hostile OS
+    can emit accesses to enclave memory — exactly the hardware
+    difference the security evaluation measures.
+    """
 
     core_id: int
     hierarchy: MemoryHierarchy
@@ -36,19 +44,22 @@ class CoreComplex:
     region_bitvector: RegionBitvector
     current_domain: Optional[ProtectionDomain] = None
     purge_count: int = 0
+    purge_stall_cycles: int = 0
+    enforce_protection: bool = True
     machine_mode_fetch_range: Optional[tuple] = None
 
     def install_domain(self, domain: Optional[ProtectionDomain]) -> None:
         """Install (or clear) the protection domain running on this core."""
         self.current_domain = domain
+        region_allowed = self.region_bitvector.is_allowed if self.enforce_protection else None
         if domain is None:
             self.region_bitvector.set_regions(set())
-            self.hierarchy.install_context(None, self.region_bitvector.is_allowed, None)
+            self.hierarchy.install_context(None, region_allowed, None)
             return
         self.region_bitvector.set_regions(domain.regions)
         self.hierarchy.install_context(
             page_table=domain.page_table,
-            region_allowed=self.region_bitvector.is_allowed,
+            region_allowed=region_allowed,
             owner=domain.domain_id,
         )
 
@@ -56,6 +67,7 @@ class CoreComplex:
         """Execute the purge instruction on this core; returns stall cycles."""
         result = self.purge_unit.execute()
         self.purge_count += 1
+        self.purge_stall_cycles += result.stall_cycles
         return result.stall_cycles
 
 
@@ -108,6 +120,7 @@ class Machine:
                     core=core,
                     purge_unit=PurgeUnit(core, hierarchy, stats=self.stats),
                     region_bitvector=RegionBitvector(self.config.address_map, stats=self.stats),
+                    enforce_protection=self.config.has_protection_hardware,
                 )
             )
 
@@ -124,5 +137,21 @@ class Machine:
         """Mapping core id -> domain id currently installed (None if idle)."""
         return {
             core.core_id: (core.current_domain.domain_id if core.current_domain else None)
+            for core in self.cores
+        }
+
+    def purge_audit(self) -> Dict[int, Dict[str, int]]:
+        """Per-core purge accounting: executions and accumulated stalls.
+
+        The serving subsystem folds this into each result entry's
+        provenance so latency breakdowns are auditable against the
+        machine's functional truth (the monitor purges on every
+        schedule/deschedule regardless of which variant charges it).
+        """
+        return {
+            core.core_id: {
+                "purge_count": core.purge_count,
+                "purge_stall_cycles": core.purge_stall_cycles,
+            }
             for core in self.cores
         }

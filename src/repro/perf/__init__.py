@@ -32,9 +32,13 @@ from repro.perf.recorder import (
 from repro.perf.suite import (
     DEFAULT_SUITE_INSTRUCTIONS,
     PINNED_SEED,
+    PINNED_SERVICE_CASE,
     PINNED_SUITE,
+    ServiceCaseMeasurement,
     SuiteMeasurement,
     SuiteResult,
+    pinned_service_request,
+    run_service_case,
     run_suite,
     suite_requests,
 )
@@ -45,14 +49,18 @@ __all__ = [
     "BenchRecorder",
     "DEFAULT_SUITE_INSTRUCTIONS",
     "PINNED_SEED",
+    "PINNED_SERVICE_CASE",
     "PINNED_SUITE",
     "ProfileReport",
     "Profiler",
+    "ServiceCaseMeasurement",
     "SuiteMeasurement",
     "SuiteResult",
     "calibration_score",
     "compare_to_baseline",
     "load_bench",
+    "pinned_service_request",
+    "run_service_case",
     "run_suite",
     "suite_requests",
 ]

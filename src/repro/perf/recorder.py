@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.common.fastpath import slow_path_enabled
-from repro.perf.suite import SuiteResult
+from repro.perf.suite import ServiceCaseMeasurement, SuiteResult
 
 #: Version of the BENCH file format (independent of the run-store schema).
 BENCH_SCHEMA_VERSION = 1
@@ -102,6 +102,15 @@ class BenchComparison:
     raw_ratio: float
     max_regression: float
     regressed: bool
+    service_ratio: Optional[float] = None
+
+    @property
+    def service_regressed(self) -> bool:
+        """True when the serving event loop's ratio broke the gate."""
+        return (
+            self.service_ratio is not None
+            and self.service_ratio < (1.0 - self.max_regression)
+        )
 
 
 class BenchRecorder:
@@ -126,11 +135,18 @@ class BenchRecorder:
         calibration: Optional[float] = None,
         sha: Optional[str] = None,
         when: Optional[date] = None,
+        service: Optional[ServiceCaseMeasurement] = None,
     ) -> Dict[str, Any]:
-        """Assemble the JSON document for one suite execution."""
+        """Assemble the JSON document for one suite execution.
+
+        ``service`` (when measured) adds the pinned enclave-serving
+        case: requests/second of the discrete-event loop, normalized by
+        the same calibration score, gated by
+        :func:`compare_to_baseline` alongside the kernel throughput.
+        """
         calibration = calibration if calibration is not None else calibration_score()
         aggregate_ips = result.instructions_per_second
-        return {
+        record: Dict[str, Any] = {
             "schema": BENCH_SCHEMA_VERSION,
             "kind": BENCH_KIND,
             "date": (when or date.today()).isoformat(),
@@ -162,6 +178,21 @@ class BenchRecorder:
                 for m in result.measurements
             ],
         }
+        if service is not None:
+            record["service"] = {
+                "policy": service.policy,
+                "variant": service.variant,
+                "cache_key": service.cache_key,
+                "requests": service.requests,
+                "wall_seconds": service.wall_seconds,
+                "requests_per_second": service.requests_per_second,
+                "normalized_throughput": (
+                    service.requests_per_second / calibration
+                    if calibration > 0.0
+                    else 0.0
+                ),
+            }
+        return record
 
     def write(
         self,
@@ -222,6 +253,13 @@ def _comparability_mismatches(
     baseline_keys = sorted(run["cache_key"] for run in baseline.get("runs", []) if "cache_key" in run)
     if current_keys and baseline_keys and current_keys != baseline_keys:
         mismatches.append("suite cache keys differ (pinned suite or configs changed)")
+    current_service = current.get("service")
+    baseline_service = baseline.get("service")
+    if current_service and baseline_service:
+        current_key = current_service.get("cache_key")
+        baseline_key = baseline_service.get("cache_key")
+        if current_key and baseline_key and current_key != baseline_key:
+            mismatches.append("service cache key differs (pinned service case changed)")
     return mismatches
 
 
@@ -235,7 +273,10 @@ def compare_to_baseline(
 
     The comparison uses calibration-normalized throughput so records
     taken on machines of different speeds remain comparable; the raw
-    ratio is reported alongside for context.
+    ratio is reported alongside for context.  When both records carry
+    the pinned enclave-serving case, its normalized requests/second is
+    gated by the same threshold (``service_ratio``); a baseline without
+    one (pre-serving records) gates the kernel alone.
 
     Raises:
         ValueError: when the records measured different work — different
@@ -254,13 +295,28 @@ def compare_to_baseline(
     baseline_raw = float(baseline["aggregate"]["instructions_per_second"])
     ratio = current_norm / baseline_norm if baseline_norm > 0.0 else float("inf")
     raw_ratio = current_raw / baseline_raw if baseline_raw > 0.0 else float("inf")
+    service_ratio = None
+    current_service = current.get("service")
+    baseline_service = baseline.get("service")
+    if current_service and baseline_service:
+        current_service_norm = float(current_service["normalized_throughput"])
+        baseline_service_norm = float(baseline_service["normalized_throughput"])
+        service_ratio = (
+            current_service_norm / baseline_service_norm
+            if baseline_service_norm > 0.0
+            else float("inf")
+        )
+    regressed = ratio < (1.0 - max_regression) or (
+        service_ratio is not None and service_ratio < (1.0 - max_regression)
+    )
     return BenchComparison(
         current_normalized=current_norm,
         baseline_normalized=baseline_norm,
         ratio=ratio,
         raw_ratio=raw_ratio,
         max_regression=max_regression,
-        regressed=ratio < (1.0 - max_regression),
+        regressed=regressed,
+        service_ratio=service_ratio,
     )
 
 

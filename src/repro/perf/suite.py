@@ -16,13 +16,22 @@ JSON decoding rather than the kernel.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.analysis.engine import EvaluationSettings, RunRequest, request_for
+from repro.analysis.engine import (
+    EvaluationSettings,
+    RunRequest,
+    ServiceRunRequest,
+    evaluation_config,
+    request_for,
+    resolve_service_cycles,
+)
 from repro.core.serialization import config_digest
 from repro.core.variants import parse_variant
 from repro.perf.profiler import ProfileReport, Profiler
+from repro.service.simulation import ServiceOutcome, run_service
 
 #: (mitigation spec, benchmark) pairs of the pinned suite, in run order.
 PINNED_SUITE: Tuple[Tuple[str, str], ...] = (
@@ -36,6 +45,22 @@ PINNED_SEED = 2019
 
 #: Default instructions per suite run (CI's perf job uses the same).
 DEFAULT_SUITE_INSTRUCTIONS = 20_000
+
+#: The pinned enclave-serving case: the ``fifo`` policy maximises
+#: monitor traffic (every request pays a schedule and a deschedule), so
+#: this one point exercises the event loop, the purge path, and the
+#: arrival process together.  Parameters are pinned for the same reason
+#: the kernel suite is.
+PINNED_SERVICE_CASE = {
+    "policy": "fifo",
+    "spec": "F+P+M+A",
+    "load": 0.8,
+    "load_profile": "poisson",
+    "num_cores": 4,
+    "num_tenants": 6,
+    "num_requests": 400,
+    "instructions": 2_000,
+}
 
 
 def suite_requests(
@@ -103,6 +128,87 @@ class SuiteResult:
         if wall <= 0.0:
             return 0.0
         return sum(m.report.cycles for m in self.measurements) / wall
+
+
+@dataclass(frozen=True)
+class ServiceCaseMeasurement:
+    """Event-loop throughput of the pinned enclave-serving case.
+
+    Attributes:
+        policy: Scheduling policy of the pinned case.
+        variant: Mitigation spec the fleet ran on.
+        cache_key: Content-hash identity of the serving simulation.
+        requests: Requests the event loop served.
+        wall_seconds: Wall-clock duration of the event loop alone (the
+            per-benchmark kernel costs are resolved beforehand, so this
+            measures dispatching, monitor calls, and purges — not the
+            cycle kernel).
+        outcome: The serving outcome itself (for sanity checks).
+    """
+
+    policy: str
+    variant: str
+    cache_key: str
+    requests: int
+    wall_seconds: float
+    outcome: ServiceOutcome
+
+    @property
+    def requests_per_second(self) -> float:
+        """Served requests per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+
+def pinned_service_request(seed: int = PINNED_SEED) -> ServiceRunRequest:
+    """The fully specified engine request of the pinned service case."""
+    case = PINNED_SERVICE_CASE
+    return ServiceRunRequest(
+        policy=case["policy"],
+        config=evaluation_config(parse_variant(case["spec"]), case["instructions"]),
+        seed=seed,
+        load=case["load"],
+        load_profile=case["load_profile"],
+        num_cores=case["num_cores"],
+        num_tenants=case["num_tenants"],
+        num_requests=case["num_requests"],
+        instructions=case["instructions"],
+    )
+
+
+def run_service_case(seed: int = PINNED_SEED) -> ServiceCaseMeasurement:
+    """Measure the serving event loop on the pinned case.
+
+    The per-benchmark kernel costs are resolved *before* the clock
+    starts (they are the kernel suite's job to track), so the wall time
+    gates the discrete-event loop itself: arrival handling, policy
+    dispatch, monitor schedule/deschedule calls, and purges.
+    """
+    request = pinned_service_request(seed)
+    cycles = resolve_service_cycles(request)
+    started = time.perf_counter()
+    outcome = run_service(
+        request.config,
+        request.policy,
+        service_cycles=cycles,
+        seed=request.seed,
+        load=request.load,
+        load_profile=request.load_profile,
+        num_cores=request.num_cores,
+        num_tenants=request.num_tenants,
+        num_requests=request.num_requests,
+        instructions=request.instructions,
+    )
+    wall = time.perf_counter() - started
+    return ServiceCaseMeasurement(
+        policy=request.policy,
+        variant=PINNED_SERVICE_CASE["spec"],
+        cache_key=request.cache_key(),
+        requests=outcome.requests,
+        wall_seconds=wall,
+        outcome=outcome,
+    )
 
 
 def run_suite(

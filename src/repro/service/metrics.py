@@ -1,0 +1,36 @@
+"""Latency summary helpers for the serving simulation.
+
+All arithmetic is over integer cycle counts with a deterministic
+nearest-rank percentile, so summaries are bit-identical across runs and
+across the JSON round-trip through the result store.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Sequence
+
+
+def percentile(sorted_values: Sequence[int], fraction: float) -> int:
+    """Nearest-rank percentile of pre-sorted values (0 on empty input)."""
+    if not sorted_values:
+        return 0
+    if fraction <= 0.0:
+        return sorted_values[0]
+    rank = math.ceil(fraction * len(sorted_values))
+    return sorted_values[min(len(sorted_values), max(1, rank)) - 1]
+
+
+def summarize_latencies(latencies: Sequence[int]) -> Dict[str, Any]:
+    """p50/p95/p99 plus mean/min/max of request latencies (cycles)."""
+    if not latencies:
+        return {"p50": 0, "p95": 0, "p99": 0, "mean": 0.0, "min": 0, "max": 0}
+    ordered = sorted(latencies)
+    return {
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "p99": percentile(ordered, 0.99),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }

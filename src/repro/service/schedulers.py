@@ -1,0 +1,218 @@
+"""Pluggable scheduling policies for the enclave-serving simulation.
+
+A policy decides, each time a core goes idle, which queued request that
+core serves next — and with it how often the fleet pays MI6's enclave
+boundary costs (a ``purge`` on schedule *and* deschedule under FLUSH).
+Three policies ship by default, spanning the obvious cost/fairness
+trade-off:
+
+=============  ========================================================
+``fifo``       Strict arrival order; the core is handed back to the OS
+               after every request (eager release), so *every* request
+               pays a schedule purge and a deschedule purge.
+``affinity``   Partition-aware affinity: the enclave stays installed on
+               its core between requests (lazy release), and an idle
+               core first serves queued requests of the tenant it
+               already hosts — back-to-back requests of one tenant pay
+               no purge at all.
+``batch``      Affinity plus a fairness bound: a core drains up to
+               ``batch_limit`` consecutive requests of its installed
+               tenant (amortising one purge pair over the whole batch),
+               then must switch to the oldest other tenant if one is
+               waiting.
+=============  ========================================================
+
+Policies are registered by name (:func:`register_policy`), mirroring the
+scenario registry, so new placement ideas compose with the engine's
+sweep/caching machinery without touching the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+
+#: Fairness bound of the ``batch`` policy: consecutive requests of one
+#: tenant a core may serve while another tenant waits.
+DEFAULT_BATCH_LIMIT = 8
+
+
+class QueueView:
+    """Read-only dispatch state a policy sees when picking a request.
+
+    Attributes:
+        pending: Queued requests in arrival (seq) order; each exposes
+            ``tenant`` and ``seq``.
+        in_service: Tenants with a request currently executing (a tenant
+            is single-threaded: one enclave, one execution context).
+        installed_core: Tenant -> core id where its enclave is currently
+            installed (lazy-release policies leave enclaves resident).
+    """
+
+    def __init__(
+        self,
+        pending: List[Any],
+        in_service: set,
+        installed_core: Dict[int, int],
+    ) -> None:
+        self.pending = pending
+        self.in_service = in_service
+        self.installed_core = installed_core
+
+    def claimable(self, tenant: int, core_id: int) -> bool:
+        """Whether ``core_id`` may start serving ``tenant`` now.
+
+        A tenant already executing is never claimable, and a tenant
+        whose enclave sits installed on a *different* (idle) core is
+        left for that core — it will claim the request itself in the
+        same dispatch pass, without an extra deschedule/schedule pair.
+        """
+        if tenant in self.in_service:
+            return False
+        where = self.installed_core.get(tenant)
+        return where is None or where == core_id
+
+
+class SchedulingPolicy:
+    """Base policy: subclasses override :meth:`pick`.
+
+    Attributes:
+        name: Registry name.
+        eager_release: True when the core is descheduled (handed back to
+            the OS, paying the deschedule purge) after every request.
+    """
+
+    name = "?"
+    eager_release = False
+
+    def pick(self, core: Any, view: QueueView) -> Optional[Any]:
+        """The pending request ``core`` should serve next, or ``None``.
+
+        ``core`` exposes ``core_id``, ``installed`` (tenant id or None)
+        and ``streak`` (consecutive requests of the installed tenant).
+        """
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Strict arrival order with eager core release."""
+
+    name = "fifo"
+    eager_release = True
+
+    def pick(self, core: Any, view: QueueView) -> Optional[Any]:
+        for request in view.pending:
+            if view.claimable(request.tenant, core.core_id):
+                return request
+        return None
+
+
+class AffinityPolicy(SchedulingPolicy):
+    """Serve the installed tenant first; otherwise oldest claimable."""
+
+    name = "affinity"
+
+    def pick(self, core: Any, view: QueueView) -> Optional[Any]:
+        if core.installed is not None:
+            for request in view.pending:
+                if request.tenant == core.installed:
+                    return request
+        for request in view.pending:
+            if view.claimable(request.tenant, core.core_id):
+                return request
+        return None
+
+
+class BatchPolicy(SchedulingPolicy):
+    """Affinity bounded by a batch limit: amortise purges, stay fair."""
+
+    name = "batch"
+
+    def __init__(self, batch_limit: int = DEFAULT_BATCH_LIMIT) -> None:
+        if batch_limit < 1:
+            raise ConfigurationError("batch_limit must be positive")
+        self.batch_limit = batch_limit
+
+    def pick(self, core: Any, view: QueueView) -> Optional[Any]:
+        same = None
+        if core.installed is not None:
+            for request in view.pending:
+                if request.tenant == core.installed:
+                    same = request
+                    break
+        other = None
+        for request in view.pending:
+            if request.tenant != core.installed and view.claimable(
+                request.tenant, core.core_id
+            ):
+                other = request
+                break
+        if same is not None and (core.streak < self.batch_limit or other is None):
+            return same
+        return other
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+PolicyFactory = Callable[[], SchedulingPolicy]
+
+_POLICIES: Dict[str, PolicyFactory] = {}
+_POLICY_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory, description: str) -> None:
+    """Register a scheduling policy under ``name``.
+
+    The factory must build a fresh policy instance per simulation (a
+    policy may keep per-run state), and the policy must be a pure
+    function of the dispatch state — the determinism contract the
+    engine's cache keys rely on.
+    """
+    key = name.strip()
+    if not key:
+        raise ConfigurationError("policy name must be non-empty")
+    if key in _POLICIES:
+        raise ConfigurationError(f"scheduling policy {name!r} already registered")
+    _POLICIES[key] = factory
+    _POLICY_DESCRIPTIONS[key] = description
+
+
+def policy_names() -> List[str]:
+    """All registered policy names, in presentation order."""
+    return list(_POLICIES)
+
+
+def policy_description(name: str) -> str:
+    """One-line description of a policy."""
+    return _POLICY_DESCRIPTIONS[name]
+
+
+def create_policy(name: str) -> SchedulingPolicy:
+    """A fresh instance of the named policy."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        valid = ", ".join(policy_names())
+        raise ConfigurationError(
+            f"unknown scheduling policy {name!r} (expected one of: {valid})"
+        ) from None
+    return factory()
+
+
+register_policy(
+    "fifo",
+    FifoPolicy,
+    "strict arrival order, core released after every request (max purges)",
+)
+register_policy(
+    "affinity",
+    AffinityPolicy,
+    "enclaves stay resident; idle cores serve their installed tenant first",
+)
+register_policy(
+    "batch",
+    BatchPolicy,
+    f"affinity with a {DEFAULT_BATCH_LIMIT}-request fairness bound per tenant batch",
+)

@@ -65,6 +65,22 @@ class TestWorkloadRequests:
 
 
 class TestSweepRequests:
+    def test_mixed_warm_cold_keeps_all_entries_and_keys(self):
+        # Regression: the runner's provenance snapshot used to be the
+        # deduplicated *pending* key list, so a partially-warm sweep
+        # silently truncated the result envelope and attached cold
+        # requests' cache keys to warm entries.
+        s = session()
+        s.sweep(variants=["BASE"], benchmarks=["hmmer"], **SMALL)
+        mixed = s.sweep(
+            variants=["BASE", "ARB"], benchmarks=["hmmer", "mcf"], **SMALL
+        )
+        assert len(mixed.entries) == 4
+        assert mixed.warm_count == 1 and mixed.cold_count == 3
+        assert len({entry.provenance.cache_key for entry in mixed.entries}) == 4
+        warm_entry = mixed.entry("BASE", "hmmer", mixed.entries[0].key[2])
+        assert warm_entry.provenance.origin == "warm"
+
     def test_envelope_and_accessors(self):
         s = session()
         result = s.sweep(

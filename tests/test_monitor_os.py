@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.errors import SecurityMonitorError
+from repro.core.mitigations import config_for_spec
 from repro.core.variants import Variant, config_for_variant
 from repro.monitor.enclave import EnclaveState
 from repro.monitor.measurement import attest, measure_pages
@@ -133,3 +134,71 @@ class TestMaliciousOs:
         assert first is not None
         with pytest.raises(SecurityMonitorError):
             monitor.create_enclave({11, 12})
+
+
+def _hostile_platform_for(spec: str):
+    machine = Machine(config_for_spec(spec), num_cores=2)
+    monitor = SecurityMonitor(machine)
+    operating_system = MaliciousOS(machine, monitor)
+    victim = operating_system.launch_enclave({2, 3}, {0x1000: b"secret"}, core_id=1)
+    return machine, operating_system, victim
+
+
+class TestProbeAcrossMitigationLattice:
+    """probe_enclave_memory across the 2^5 mitigation lattice.
+
+    The DRAM-region protection checker ships on every MI6 build (any
+    mitigation switch) and is absent on the insecure baseline, so the
+    probe leaks exactly on BASE-like machines regardless of which other
+    knobs are composed.
+    """
+
+    @pytest.mark.parametrize("spec", ["BASE"])
+    def test_base_machine_leaks_enclave_memory(self, spec):
+        _machine, operating_system, victim = _hostile_platform_for(spec)
+        assert operating_system.probe_enclave_memory(victim, core_id=0) is True
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["F+P+M+A", "FLUSH", "PART", "MISS", "ARB", "NONSPEC", "FLUSH+MISS", "PART+ARB+NONSPEC"],
+    )
+    def test_any_mi6_build_blocks_enclave_memory(self, spec):
+        _machine, operating_system, victim = _hostile_platform_for(spec)
+        assert operating_system.probe_enclave_memory(victim, core_id=0) is False
+
+    def test_protection_hardware_flag_matches_lattice(self):
+        assert config_for_spec("BASE").has_protection_hardware is False
+        assert config_for_spec("ARB").has_protection_hardware is True
+        assert config_for_spec("F+P+M+A").has_protection_hardware is True
+
+
+class TestPurgeAccounting:
+    """Per-core purge counts and stall cycles across schedule cycles."""
+
+    def test_repeated_schedule_deschedule_accumulates(self, platform):
+        machine, monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code"}, core_id=1)
+        core = machine.core(1)
+        count_after_launch = core.purge_count
+        stall_after_launch = core.purge_stall_cycles
+        assert count_after_launch == 1
+        assert stall_after_launch == 512
+        cycles = 5
+        for _ in range(cycles):
+            result = monitor.deschedule_enclave(enclave, 1)
+            assert result.core_id == 1
+            assert result.purge_stall_cycles == 512
+            result = monitor.schedule_enclave(enclave, 1)
+            assert result.core_id == 1
+            assert result.purge_count == core.purge_count
+        assert core.purge_count == count_after_launch + 2 * cycles
+        assert core.purge_stall_cycles == stall_after_launch + 2 * cycles * 512
+
+    def test_machine_purge_audit_matches_cores(self, platform):
+        machine, monitor, operating_system = platform
+        enclave = operating_system.launch_enclave({2, 3}, {0x1000: b"code"}, core_id=1)
+        monitor.deschedule_enclave(enclave, 1)
+        audit = machine.purge_audit()
+        assert set(audit) == {0, 1}
+        assert audit[1] == {"purge_count": 2, "purge_stall_cycles": 1024}
+        assert audit[0] == {"purge_count": 0, "purge_stall_cycles": 0}

@@ -12,11 +12,14 @@ from repro.perf import (
     BENCH_SCHEMA_VERSION,
     BenchRecorder,
     PINNED_SEED,
+    PINNED_SERVICE_CASE,
     PINNED_SUITE,
     ProfileReport,
     Profiler,
     compare_to_baseline,
     load_bench,
+    pinned_service_request,
+    run_service_case,
     run_suite,
     suite_requests,
 )
@@ -87,6 +90,58 @@ class TestSuite:
         assert len(measurement.config_digest) == 64
         assert result.total_instructions == TINY
         assert result.instructions_per_second > 0.0
+
+
+class TestServiceCase:
+    def test_pinned_case_is_stable(self):
+        assert PINNED_SERVICE_CASE["policy"] == "fifo"
+        assert PINNED_SERVICE_CASE["spec"] == "F+P+M+A"
+        request = pinned_service_request()
+        assert request.seed == PINNED_SEED
+        assert request.num_requests == PINNED_SERVICE_CASE["num_requests"]
+        assert len(request.cache_key()) == 64
+
+    def test_measures_event_loop_throughput(self):
+        measurement = run_service_case()
+        assert measurement.requests == PINNED_SERVICE_CASE["num_requests"]
+        assert measurement.wall_seconds > 0.0
+        assert measurement.requests_per_second > 0.0
+        assert measurement.outcome.charged_purge_cycles > 0
+        assert measurement.cache_key == pinned_service_request().cache_key()
+
+    def test_record_carries_and_gates_service(self, tmp_path):
+        recorder = BenchRecorder(tmp_path)
+        result = run_suite(instructions=TINY, cases=(("BASE", "hmmer"),))
+        measurement = run_service_case()
+        record = recorder.build_record(
+            result, calibration=10.0, sha="svc", service=measurement
+        )
+        service = record["service"]
+        assert service["requests_per_second"] == pytest.approx(
+            measurement.requests_per_second
+        )
+        assert service["normalized_throughput"] == pytest.approx(
+            measurement.requests_per_second / 10.0
+        )
+        # A kernel-healthy record whose event loop collapsed must trip
+        # the gate through the service ratio alone.
+        slow = json.loads(json.dumps(record))
+        slow["service"]["normalized_throughput"] /= 10.0
+        comparison = compare_to_baseline(slow, record)
+        assert comparison.service_ratio == pytest.approx(0.1)
+        assert comparison.service_regressed
+        assert comparison.regressed
+        # An old baseline without a service section gates the kernel only.
+        legacy = json.loads(json.dumps(record))
+        del legacy["service"]
+        comparison = compare_to_baseline(record, legacy)
+        assert comparison.service_ratio is None
+        assert not comparison.regressed
+        # A baseline with a different pinned service case is not comparable.
+        foreign = json.loads(json.dumps(record))
+        foreign["service"]["cache_key"] = "0" * 64
+        with pytest.raises(ValueError, match="service cache key"):
+            compare_to_baseline(record, foreign)
 
 
 class TestRecorder:
