@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Union
 
 from repro.common.errors import ConfigurationError
+from repro.common.fastpath import slow_path_enabled
 from repro.core.config import MI6Config
 from repro.mem.hierarchy import HierarchyAccess
 from repro.mem.llc_detail import DetailedLlc, DetailedLlcConfig, LlcRequest
@@ -227,12 +228,24 @@ class CoScheduledExecutor:
         }
         results: Dict[int, List[CompletedAccess]] = {core_id: [] for core_id in traces}
         deadline = self.detailed.cycle + max_cycles
+        # Event-batched driving: jump the shared clock over gaps where the
+        # detailed pipeline is idle, no local completion is due, and no
+        # party may issue (issue-gap spacing).  The skipped cycles are
+        # no-ops in the per-cycle reference loop, which stays reachable
+        # under REPRO_SLOW_PATH=1 as the bit-identity oracle.
+        batched = not slow_path_enabled()
         while any(not state.done for state in states.values()):
             if self.detailed.cycle >= deadline:
                 raise RuntimeError(
                     f"co-scheduled phase exceeded {max_cycles} cycles "
                     f"({sum(len(state.in_flight) for state in states.values())} in flight)"
                 )
+            if batched:
+                target = self._next_interesting_cycle(states)
+                if target is not None and target > self.detailed.cycle:
+                    self.detailed.advance_to(min(target, deadline))
+                    if self.detailed.cycle >= deadline:
+                        continue
             cycle = self.detailed.cycle
             for core_id in sorted(states):
                 self._issue_ready_ops(core_id, states[core_id], cycle)
@@ -240,6 +253,39 @@ class CoScheduledExecutor:
             for core_id in sorted(states):
                 self._collect_completions(core_id, states[core_id], results[core_id])
         return results
+
+    def _next_interesting_cycle(self, states: Dict[int, _CoreState]) -> Optional[int]:
+        """Earliest pre-step cycle at which issuing, stepping, or collecting acts.
+
+        Detailed-LLC events act in the step of the cycle they report.  A
+        locally completing access (L1 hit / suppressed) with completion
+        cycle ``P`` is collected after the step of cycle ``P - 1`` — and
+        only then frees its slot in the in-flight cap — so it contributes
+        ``P - 1``.  An issuable op contributes its earliest issue cycle.
+        """
+        best = self.detailed.next_event_cycle()
+        for core_id, state in states.items():
+            for entry in state.in_flight:
+                pending = entry[4]
+                if not isinstance(pending, LlcRequest):
+                    due = pending - 1
+                    if best is None or due < best:
+                        best = due
+            if state.next_index < len(state.ops) and len(state.in_flight) < self._cap_for(
+                core_id
+            ):
+                op = state.ops[state.next_index]
+                gap_base = (
+                    state.last_issue_cycle
+                    if state.last_issue_cycle >= 0
+                    else state.phase_start
+                )
+                due = gap_base + op.issue_gap
+                if best is None or due < best:
+                    best = due
+        if best is not None and best < self.detailed.cycle:
+            best = self.detailed.cycle
+        return best
 
     def _issue_ready_ops(self, core_id: int, state: _CoreState, cycle: int) -> None:
         cap = self._cap_for(core_id)
@@ -309,8 +355,20 @@ class CoScheduledExecutor:
 
     def idle(self, cycles: int) -> None:
         """Let the pipeline drain for ``cycles`` with no new traffic."""
-        for _ in range(cycles):
-            self.detailed.step()
+        detailed = self.detailed
+        target = detailed.cycle + cycles
+        if slow_path_enabled():
+            while detailed.cycle < target:
+                detailed.step()
+            return
+        while detailed.cycle < target:
+            event = detailed.next_event_cycle()
+            if event is None or event >= target:
+                detailed.advance_to(target)
+                return
+            if event > detailed.cycle:
+                detailed.advance_to(event)
+            detailed.step()
 
 
 def latencies_by_label(

@@ -65,6 +65,7 @@ from repro.perf import (
     PINNED_SEED,
     BenchRecorder,
     calibration_score,
+    commit_record_path,
     compare_to_baseline,
     load_bench,
     run_service_case,
@@ -473,7 +474,7 @@ def _command_perf(args: argparse.Namespace) -> int:
     result = run_suite(
         instructions=args.instructions, seed=args.seed, components=args.components
     )
-    service = None if args.no_service else run_service_case()
+    service = None if args.no_service else run_service_case(components=args.components)
     recorder = BenchRecorder(args.output_dir)
     record = recorder.build_record(
         result, calibration=calibration_score(), service=service
@@ -483,6 +484,11 @@ def _command_perf(args: argparse.Namespace) -> int:
         # The printed/diffed record and the written file are the same
         # document (same date, same git SHA).
         record_path = recorder.write(record=record)
+    commit_path = None
+    if args.record:
+        # Stable-name copy at the repo root, meant to be committed so
+        # the file's history IS the throughput trajectory.
+        commit_path = recorder.write(record=record, path=commit_record_path())
 
     comparison = None
     if args.baseline is not None:
@@ -499,6 +505,8 @@ def _command_perf(args: argparse.Namespace) -> int:
         document = dict(record)
         if record_path is not None:
             document["record_path"] = str(record_path)
+        if commit_path is not None:
+            document["commit_record_path"] = str(commit_path)
         if comparison is not None:
             document["baseline"] = {
                 "path": str(args.baseline),
@@ -546,10 +554,18 @@ def _command_perf(args: argparse.Namespace) -> int:
                 f"{service_record['requests_per_second']:.0f} req/s, "
                 f"normalized {service_record['normalized_throughput']:.1f}"
             )
+            if service_record.get("component_shares"):
+                shares = ", ".join(
+                    f"{component} {share:.0%}"
+                    for component, share in service_record["component_shares"].items()
+                )
+                print(f"{'':<12} time shares: {shares}")
         if record["slow_path"]:
             print("note: REPRO_SLOW_PATH is active (reference kernel)")
         if record_path is not None:
             print(f"wrote {record_path}")
+        if commit_path is not None:
+            print(f"wrote {commit_path}")
         if comparison is not None:
             verdict = "REGRESSED" if comparison.regressed else "ok"
             line = (
@@ -560,8 +576,66 @@ def _command_perf(args: argparse.Namespace) -> int:
                 line += f", service {comparison.service_ratio:.2f}x"
             print(f"{line}, gate -{args.max_regression:.0f}% -> {verdict}")
     if comparison is not None and comparison.regressed:
+        _print_perf_regression(record, baseline, comparison)
         return 1
     return 0
+
+
+def _print_perf_regression(record, baseline, comparison) -> None:
+    """Per-case normalized deltas of a failed perf gate, on stderr.
+
+    CI captures stdout (``--json | tee perf.json``), so a bare exit 1
+    leaves the log saying nothing about *which* case slowed down; this
+    breakdown names it.  Normalization divides each case's raw
+    instructions/second by its record's calibration score, the same
+    machine-speed correction the gate itself applies.
+    """
+    current_cal = float(record.get("calibration_mops") or 0.0)
+    baseline_cal = float(baseline.get("calibration_mops") or 0.0)
+    print(
+        "perf gate FAILED — per-case normalized throughput vs baseline "
+        f"(allowed drop {comparison.max_regression:.0%}):",
+        file=sys.stderr,
+    )
+    baseline_runs = {
+        (run.get("variant"), run.get("benchmark")): run
+        for run in baseline.get("runs", [])
+    }
+    for run in record.get("runs", []):
+        label = f"{run.get('variant')}/{run.get('benchmark')}"
+        current_norm = (
+            float(run["instructions_per_second"]) / current_cal if current_cal else 0.0
+        )
+        base_run = baseline_runs.get((run.get("variant"), run.get("benchmark")))
+        if base_run is None:
+            print(f"  {label:<24} {current_norm:9.1f} (case not in baseline)", file=sys.stderr)
+            continue
+        base_norm = (
+            float(base_run["instructions_per_second"]) / baseline_cal
+            if baseline_cal
+            else 0.0
+        )
+        ratio = current_norm / base_norm if base_norm > 0.0 else float("inf")
+        print(
+            f"  {label:<24} {current_norm:9.1f} vs {base_norm:9.1f} -> {ratio:5.2f}x",
+            file=sys.stderr,
+        )
+    current_service = record.get("service")
+    baseline_service = baseline.get("service")
+    if current_service and baseline_service and comparison.service_ratio is not None:
+        print(
+            f"  {'service (' + str(current_service.get('policy')) + ')':<24}"
+            f" {float(current_service['normalized_throughput']):9.1f}"
+            f" vs {float(baseline_service['normalized_throughput']):9.1f}"
+            f" -> {comparison.service_ratio:5.2f}x",
+            file=sys.stderr,
+        )
+    print(
+        f"  {'aggregate':<24} {comparison.current_normalized:9.1f}"
+        f" vs {comparison.baseline_normalized:9.1f}"
+        f" -> {comparison.ratio:5.2f}x (raw {comparison.raw_ratio:.2f}x)",
+        file=sys.stderr,
+    )
 
 
 def _command_list(_args: argparse.Namespace) -> int:
@@ -800,6 +874,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument(
         "--no-record", action="store_true", help="measure only; write no BENCH file"
+    )
+    perf.add_argument(
+        "--record",
+        action="store_true",
+        help=(
+            "also write the record to <repo root>/BENCH.json — a stable, "
+            "commit-friendly name whose git history is the throughput trajectory"
+        ),
     )
     perf.add_argument(
         "--no-service",

@@ -167,12 +167,8 @@ class MI6Processor:
             for virtual_address in workload.warmup_code_addresses():
                 self.hierarchy.fetch_access(virtual_address)
         else:
-            data_access_timing = self.hierarchy.data_access_timing
-            for virtual_address in workload.warmup_addresses():
-                data_access_timing(virtual_address)
-            fetch_access_timing = self.hierarchy.fetch_access_timing
-            for virtual_address in workload.warmup_code_addresses():
-                fetch_access_timing(virtual_address)
+            self.hierarchy.prime_data_timing(workload.warmup_addresses())
+            self.hierarchy.prime_fetch_timing(workload.warmup_code_addresses())
         self.stats.reset()
 
     def run_workload(

@@ -10,9 +10,8 @@ which virtual address it touches, and whether it traps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 
 class InstructionKind(Enum):
@@ -80,9 +79,14 @@ NO_REGISTER = -1
 ARCH_REGISTER_COUNT = 32
 
 
-@dataclass(frozen=True, slots=True)
-class Instruction:
+class Instruction(NamedTuple):
     """One abstract dynamic instruction.
+
+    A named tuple rather than a dataclass: the synthetic generator
+    constructs one of these per simulated instruction, and tuple
+    construction is several times cheaper than a frozen dataclass's
+    ``__init__`` while keeping the record immutable, hashable, and
+    field-comparable.
 
     Attributes:
         kind: Operation class; selects the execution pipeline and latency.
@@ -108,7 +112,7 @@ class Instruction:
     sequence: int = 0
     pc: int = 0
     dst: int = NO_REGISTER
-    srcs: Tuple[int, ...] = field(default_factory=tuple)
+    srcs: Tuple[int, ...] = ()
     vaddr: Optional[int] = None
     size: int = 8
     branch_id: Optional[int] = None

@@ -15,16 +15,37 @@ stays lazy, so the set of counters a run reports is unchanged), the
 index/tag decomposition is a precomputed shift-and-mask, and the internal
 :meth:`SetAssociativeCache.access_parts` returns plain values that the L1
 and LLC wrappers consume without building an :class:`AccessResult`.
+
+Two storage layouts back the same public API:
+
+* the reference layout — one :class:`CacheLine` object per line — is
+  used when ``REPRO_SLOW_PATH=1`` selects the reference kernel;
+* the default fast path stores the tag array as flat parallel slabs
+  (``tags`` / ``dirty`` / ``owner`` lists indexed ``set * ways + way``)
+  plus a per-set ``{tag: way}`` map and a per-set valid count, so a hit
+  is one dict probe instead of a way scan and victim selection never
+  builds a per-access ``valid`` list.  Replacement decisions consume the
+  policy objects' own state (the LRU recency stacks, the pseudo-random
+  RNG draw sequence) so every policy-visible effect — including which
+  RNG values are drawn and when — is bit-identical to the reference
+  layout.  The equivalence suite (``tests/test_fastpath.py``) enforces
+  this across the mitigation lattice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.common.fastpath import slow_path_enabled
 from repro.common.stats import StatsRegistry
 from repro.mem.address import CacheGeometry
-from repro.mem.replacement import PseudoRandomPolicy, ReplacementPolicy, SelfCleaningLruPolicy
+from repro.mem.replacement import (
+    LruPolicy,
+    PseudoRandomPolicy,
+    ReplacementPolicy,
+    SelfCleaningLruPolicy,
+)
 
 
 @dataclass(slots=True)
@@ -95,9 +116,14 @@ class SetAssociativeCache:
             lambda physical_address: physical_address >> offset_bits
         )
         self._stats = stats or StatsRegistry()
-        self._sets: List[List[CacheLine]] = [
-            [CacheLine() for _ in range(geometry.ways)] for _ in range(geometry.num_sets)
-        ]
+        # Inline-computation handles for the hot slab path: when the
+        # default index/tag functions are in use the slab access computes
+        # them with shifts instead of calling the lambdas above.
+        self._fast_offset_bits = (
+            offset_bits if index_for is None and tag_for is None else None
+        )
+        self._fast_set_mask = set_mask
+        self._tag_shift = offset_bits if tag_for is None else None
         # A stateless pseudo-random policy's touch() is a no-op; skipping
         # the call entirely removes one method dispatch per access.
         self._touch = None if type(policy) is PseudoRandomPolicy else policy.touch
@@ -109,6 +135,62 @@ class SetAssociativeCache:
         self._c_miss: Optional[object] = None
         self._c_eviction: Optional[object] = None
         self._c_writeback: Optional[object] = None
+
+        # Storage layout selection.  The slab layout requires a policy
+        # whose victim/touch behaviour is known (the two in-tree
+        # policies); anything else keeps the reference layout so custom
+        # policies see exactly the reference call pattern.
+        policy_type = type(policy)
+        use_slabs = not slow_path_enabled() and (
+            policy_type is PseudoRandomPolicy
+            or policy_type is LruPolicy
+            or policy_type is SelfCleaningLruPolicy
+        )
+        self._sets: Optional[List[List[CacheLine]]] = None
+        self._slab_tags: List[Optional[int]] = []
+        self._slab_dirty: List[bool] = []
+        self._slab_owners: List[Optional[int]] = []
+        self._tag_maps: List[Dict[int, int]] = []
+        self._valid_counts: List[int] = []
+        self._ways = geometry.ways
+        self._ways_bits = geometry.ways.bit_length()
+        self._lru_stacks: Optional[List[List[int]]] = None
+        self._self_cleaning = policy_type is SelfCleaningLruPolicy
+        self._randbelow: Optional[Callable[[int], int]] = None
+        self._victim_getrandbits: Optional[Callable[[int], int]] = None
+        if use_slabs:
+            total = geometry.num_sets * geometry.ways
+            self._slab_tags = [None] * total
+            self._slab_dirty = [False] * total
+            self._slab_owners = [None] * total
+            self._tag_maps = [{} for _ in range(geometry.num_sets)]
+            self._valid_counts = [0] * geometry.num_sets
+            if policy_type is PseudoRandomPolicy:
+                # randint(0, ways-1) resolves to _randbelow(ways); binding
+                # the underlying generator keeps the draw sequence
+                # bit-identical while skipping the randint/randrange
+                # argument checks on every full-set eviction.
+                self._randbelow = getattr(policy._rng._random, "_randbelow", None)
+                if self._randbelow is not None:
+                    # CPython's _randbelow draws getrandbits(k) until the
+                    # value falls below the bound; inlining that loop with
+                    # the bound's bit length precomputed keeps the draw
+                    # sequence identical at one call less per eviction.
+                    self._victim_getrandbits = policy._rng._random.getrandbits
+            else:
+                # LruPolicy.reset() refills this container in place, so
+                # the binding survives purges.
+                self._lru_stacks = policy._stacks
+            self.access_parts = self._access_parts_slab  # type: ignore[method-assign]
+            self.probe = self._probe_slab  # type: ignore[method-assign]
+            self.lookup = self._lookup_slab  # type: ignore[method-assign]
+            self.invalidate_address = self._invalidate_address_slab  # type: ignore[method-assign]
+            self.flush_all = self._flush_all_slab  # type: ignore[method-assign]
+        else:
+            self._sets = [
+                [CacheLine() for _ in range(geometry.ways)]
+                for _ in range(geometry.num_sets)
+            ]
 
     @property
     def stats(self) -> StatsRegistry:
@@ -140,7 +222,6 @@ class SetAssociativeCache:
     def access_parts(
         self,
         physical_address: int,
-        *,
         is_write: bool = False,
         owner: Optional[int] = None,
         allocate: bool = True,
@@ -230,6 +311,274 @@ class SetAssociativeCache:
             evicted_owner=evicted_owner,
         )
 
+    def probe(
+        self,
+        physical_address: int,
+        is_write: bool = False,
+        owner: Optional[int] = None,
+    ) -> bool:
+        """Allocating access that reports only hit/miss.
+
+        State and statistics effects are identical to
+        :meth:`access_parts` with ``allocate=True``; the timing-only
+        callers in the memory hierarchy discard everything but the hit
+        flag, so this entry point skips assembling the parts tuple.
+        """
+        return self.access_parts(physical_address, is_write=is_write, owner=owner)[0]
+
+    # ------------------------------------------------------------------
+    # Slab (flat-array) fast path.  Same observable behaviour as the
+    # reference methods above: identical counters, identical policy-state
+    # transitions, identical RNG draw sequence.  Installed as the
+    # instance's public entry points at construction (fast kernel only).
+
+    def _lookup_slab(self, physical_address: int) -> bool:
+        tag = self._tag_for(physical_address)
+        return tag in self._tag_maps[self._index_for(physical_address)]
+
+    def _access_parts_slab(
+        self,
+        physical_address: int,
+        is_write: bool = False,
+        owner: Optional[int] = None,
+        allocate: bool = True,
+    ) -> tuple:
+        fast_offset_bits = self._fast_offset_bits
+        if fast_offset_bits is not None:
+            tag = physical_address >> fast_offset_bits
+            set_index = tag & self._fast_set_mask
+        else:
+            set_index = self._index_for(physical_address)
+            tag_shift = self._tag_shift
+            tag = (
+                physical_address >> tag_shift
+                if tag_shift is not None
+                else self._tag_for(physical_address)
+            )
+        counter = self._c_access
+        if counter is None:
+            counter = self._c_access = self._stats.counter(f"{self.name}.access")
+        counter.value += 1
+
+        ways = self._ways
+        tag_map = self._tag_maps[set_index]
+        way = tag_map.get(tag)
+        if way is not None:
+            counter = self._c_hit
+            if counter is None:
+                counter = self._c_hit = self._stats.counter(f"{self.name}.hit")
+            counter.value += 1
+            stacks = self._lru_stacks
+            if stacks is not None:
+                stack = stacks[set_index]
+                if stack[0] != way:
+                    stack.remove(way)
+                    stack.insert(0, way)
+            slot = set_index * ways + way
+            if is_write:
+                self._slab_dirty[slot] = True
+            if owner is not None:
+                self._slab_owners[slot] = owner
+            return (True, set_index, way, None, False, None)
+
+        counter = self._c_miss
+        if counter is None:
+            counter = self._c_miss = self._stats.counter(f"{self.name}.miss")
+        counter.value += 1
+        if not allocate:
+            return (False, set_index, -1, None, False, None)
+
+        tags = self._slab_tags
+        base = set_index * ways
+        valid_count = self._valid_counts[set_index]
+        evicted_tag: Optional[int] = None
+        evicted_dirty = False
+        evicted_owner: Optional[int] = None
+        if valid_count < ways:
+            # Both in-tree policies fill the first invalid way.
+            victim_way = 0
+            slot = base
+            while tags[slot] is not None:
+                victim_way += 1
+                slot += 1
+            self._valid_counts[set_index] = valid_count + 1
+        else:
+            stacks = self._lru_stacks
+            if stacks is not None:
+                victim_way = stacks[set_index][-1]
+            elif self._randbelow is not None:
+                getrandbits = self._victim_getrandbits
+                ways_bits = self._ways_bits
+                victim_way = getrandbits(ways_bits)
+                while victim_way >= ways:
+                    victim_way = getrandbits(ways_bits)
+            else:
+                victim_way = self._policy.victim(set_index, [True] * ways)
+            slot = base + victim_way
+            evicted_tag = tags[slot]
+            evicted_dirty = self._slab_dirty[slot]
+            evicted_owner = self._slab_owners[slot]
+            del tag_map[evicted_tag]
+            counter = self._c_eviction
+            if counter is None:
+                counter = self._c_eviction = self._stats.counter(f"{self.name}.eviction")
+            counter.value += 1
+            if evicted_dirty:
+                counter = self._c_writeback
+                if counter is None:
+                    counter = self._c_writeback = self._stats.counter(
+                        f"{self.name}.writeback"
+                    )
+                counter.value += 1
+
+        tags[slot] = tag
+        self._slab_dirty[slot] = is_write
+        self._slab_owners[slot] = owner
+        tag_map[tag] = victim_way
+        stacks = self._lru_stacks
+        if stacks is not None:
+            stack = stacks[set_index]
+            if stack[0] != victim_way:
+                stack.remove(victim_way)
+                stack.insert(0, victim_way)
+        return (False, set_index, victim_way, evicted_tag, evicted_dirty, evicted_owner)
+
+    def _probe_slab(
+        self,
+        physical_address: int,
+        is_write: bool = False,
+        owner: Optional[int] = None,
+    ) -> bool:
+        """Slab twin of :meth:`probe`: full allocate-on-miss effects, bool result.
+
+        Mirrors :meth:`_access_parts_slab` line for line (same counters,
+        same LRU/RNG transitions) minus the parts-tuple assembly and the
+        evicted-owner read that only the record-producing callers need.
+        """
+        fast_offset_bits = self._fast_offset_bits
+        if fast_offset_bits is not None:
+            tag = physical_address >> fast_offset_bits
+            set_index = tag & self._fast_set_mask
+        else:
+            set_index = self._index_for(physical_address)
+            tag_shift = self._tag_shift
+            tag = (
+                physical_address >> tag_shift
+                if tag_shift is not None
+                else self._tag_for(physical_address)
+            )
+        counter = self._c_access
+        if counter is None:
+            counter = self._c_access = self._stats.counter(f"{self.name}.access")
+        counter.value += 1
+
+        ways = self._ways
+        tag_map = self._tag_maps[set_index]
+        way = tag_map.get(tag)
+        if way is not None:
+            counter = self._c_hit
+            if counter is None:
+                counter = self._c_hit = self._stats.counter(f"{self.name}.hit")
+            counter.value += 1
+            stacks = self._lru_stacks
+            if stacks is not None:
+                stack = stacks[set_index]
+                if stack[0] != way:
+                    stack.remove(way)
+                    stack.insert(0, way)
+            slot = set_index * ways + way
+            if is_write:
+                self._slab_dirty[slot] = True
+            if owner is not None:
+                self._slab_owners[slot] = owner
+            return True
+
+        counter = self._c_miss
+        if counter is None:
+            counter = self._c_miss = self._stats.counter(f"{self.name}.miss")
+        counter.value += 1
+
+        tags = self._slab_tags
+        base = set_index * ways
+        valid_count = self._valid_counts[set_index]
+        if valid_count < ways:
+            victim_way = 0
+            slot = base
+            while tags[slot] is not None:
+                victim_way += 1
+                slot += 1
+            self._valid_counts[set_index] = valid_count + 1
+        else:
+            stacks = self._lru_stacks
+            if stacks is not None:
+                victim_way = stacks[set_index][-1]
+            elif self._randbelow is not None:
+                getrandbits = self._victim_getrandbits
+                ways_bits = self._ways_bits
+                victim_way = getrandbits(ways_bits)
+                while victim_way >= ways:
+                    victim_way = getrandbits(ways_bits)
+            else:
+                victim_way = self._policy.victim(set_index, [True] * ways)
+            slot = base + victim_way
+            del tag_map[tags[slot]]
+            counter = self._c_eviction
+            if counter is None:
+                counter = self._c_eviction = self._stats.counter(f"{self.name}.eviction")
+            counter.value += 1
+            if self._slab_dirty[slot]:
+                counter = self._c_writeback
+                if counter is None:
+                    counter = self._c_writeback = self._stats.counter(
+                        f"{self.name}.writeback"
+                    )
+                counter.value += 1
+
+        tags[slot] = tag
+        self._slab_dirty[slot] = is_write
+        self._slab_owners[slot] = owner
+        tag_map[tag] = victim_way
+        stacks = self._lru_stacks
+        if stacks is not None:
+            stack = stacks[set_index]
+            if stack[0] != victim_way:
+                stack.remove(victim_way)
+                stack.insert(0, victim_way)
+        return False
+
+    def _invalidate_address_slab(self, physical_address: int) -> bool:
+        set_index = self._index_for(physical_address)
+        tag = self._tag_for(physical_address)
+        tag_map = self._tag_maps[set_index]
+        way = tag_map.get(tag)
+        if way is None:
+            return False
+        del tag_map[tag]
+        slot = set_index * self._ways + way
+        self._slab_tags[slot] = None
+        self._slab_dirty[slot] = False
+        self._slab_owners[slot] = None
+        remaining = self._valid_counts[set_index] - 1
+        self._valid_counts[set_index] = remaining
+        self._policy.invalidate(set_index, way)
+        if self._self_cleaning and remaining == 0:
+            self._policy.note_set_empty(set_index)
+        return True
+
+    def _flush_all_slab(self) -> int:
+        flushed = sum(self._valid_counts)
+        total = len(self._slab_tags)
+        self._slab_tags = [None] * total
+        self._slab_dirty = [False] * total
+        self._slab_owners = [None] * total
+        self._tag_maps = [{} for _ in range(self.geometry.num_sets)]
+        self._valid_counts = [0] * self.geometry.num_sets
+        self._policy.reset()
+        self._stats.counter(f"{self.name}.flush_lines").increment(flushed)
+        return flushed
+
+    # ------------------------------------------------------------------
+
     def invalidate_address(self, physical_address: int) -> bool:
         """Invalidate the line holding ``physical_address`` if present."""
         set_index = self._index_for(physical_address)
@@ -262,11 +611,20 @@ class SetAssociativeCache:
 
     def valid_line_count(self) -> int:
         """Number of valid lines currently held."""
+        if self._sets is None:
+            return sum(self._valid_counts)
         return sum(1 for lines in self._sets for line in lines if line.valid)
 
     def occupancy_by_owner(self) -> dict:
         """Number of valid lines per owner label (isolation diagnostics)."""
         occupancy: dict = {}
+        if self._sets is None:
+            owners = self._slab_owners
+            for slot, tag in enumerate(self._slab_tags):
+                if tag is not None:
+                    owner = owners[slot]
+                    occupancy[owner] = occupancy.get(owner, 0) + 1
+            return occupancy
         for lines in self._sets:
             for line in lines:
                 if line.valid:
@@ -275,10 +633,28 @@ class SetAssociativeCache:
 
     def set_contents(self, set_index: int) -> List[CacheLine]:
         """Copy of the lines in one set (tests and attack models)."""
+        if self._sets is None:
+            base = set_index * self._ways
+            return [
+                CacheLine(
+                    self._slab_tags[slot] is not None,
+                    self._slab_tags[slot] if self._slab_tags[slot] is not None else 0,
+                    self._slab_dirty[slot],
+                    self._slab_owners[slot],
+                )
+                for slot in range(base, base + self._ways)
+            ]
         return [CacheLine(line.valid, line.tag, line.dirty, line.owner) for line in self._sets[set_index]]
 
     def owners_in_set(self, set_index: int) -> set:
         """Distinct owner labels with valid lines in ``set_index``."""
+        if self._sets is None:
+            base = set_index * self._ways
+            tags = self._slab_tags
+            owners = self._slab_owners
+            return {
+                owners[slot] for slot in range(base, base + self._ways) if tags[slot] is not None
+            }
         return {line.owner for line in self._sets[set_index] if line.valid}
 
     def _note_if_set_empty(self, set_index: int) -> None:

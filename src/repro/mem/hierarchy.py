@@ -120,6 +120,8 @@ class MemoryHierarchy:
         # once, and lazily cached counters.
         self._l1d_access_parts = self.l1d.cache.access_parts
         self._l1i_access_parts = self.l1i.cache.access_parts
+        self._l1d_probe = self.l1d.cache.probe
+        self._l1i_probe = self.l1i.cache.probe
         self._dram_bytes = address_map.dram_bytes
         self._c_blocked_accesses: Optional[object] = None
         self._c_blocked_fetches: Optional[object] = None
@@ -154,10 +156,48 @@ class MemoryHierarchy:
             physical = virtual_address % self._dram_bytes
             return physical, 0, 0, False
 
-        if tlb.access(virtual_address):
-            physical = page_table.translate(virtual_address)
-            return physical, 0, 0, physical is None
+        # Inlined L1-TLB hit path (state/stats-identical to ``tlb.access``):
+        # the access counter bumps on every probe, a hit bumps the hit
+        # counter and moves the entry to the front of its LRU list — a
+        # no-op when it is already frontmost, which is the common case
+        # thanks to page-level locality.
+        vpn = virtual_address // tlb.page_bytes
+        entries = tlb._sets[vpn % tlb.num_sets]
+        counter = tlb._c_access
+        if counter is None:
+            counter = tlb._c_access = tlb._stats.counter(f"{tlb.name}.access")
+        counter.value += 1
+        if vpn in entries and tlb._asid_of.get(vpn, 0) == 0:
+            if entries[0] != vpn:
+                entries.remove(vpn)
+                entries.insert(0, vpn)
+            counter = tlb._c_hit
+            if counter is None:
+                counter = tlb._c_hit = tlb._stats.counter(f"{tlb.name}.hit")
+            counter.value += 1
+            page_bytes = page_table.page_bytes
+            ppn = page_table.mappings.get(virtual_address // page_bytes)
+            if ppn is None:
+                return None, 0, 0, True
+            return ppn * page_bytes + virtual_address % page_bytes, 0, 0, False
+        counter = tlb._c_miss
+        if counter is None:
+            counter = tlb._c_miss = tlb._stats.counter(f"{tlb.name}.miss")
+        counter.value += 1
+        tlb.fill(virtual_address, 0)
+        return self._translate_miss_tail(virtual_address)
 
+    def _translate_miss_tail(
+        self, virtual_address: int
+    ) -> tuple[Optional[int], int, int, bool]:
+        """L2-TLB / page-walk tail of a translation (after an L1-TLB miss).
+
+        The L1-TLB probe, miss accounting, and refill have already
+        happened; this resolves through the L2 TLB or a (possibly
+        translation-cache-shortened) page walk.  Shared by
+        :meth:`_translate` and the inlined probes in the timing methods.
+        """
+        page_table = self.page_table
         if self.l2tlb.access(virtual_address):
             physical = page_table.translate(virtual_address)
             return physical, L2_TLB_HIT_LATENCY, 0, physical is None
@@ -201,7 +241,7 @@ class MemoryHierarchy:
                 )
             counter.value += 1
             return (0, None, True)
-        if self._l1d_access_parts(physical_address, is_write=is_write, owner=self.owner)[0]:
+        if self._l1d_probe(physical_address, is_write, self.owner):
             return (self.l1d.hit_latency, None, False)
         llc_parts = self.llc.access_parts(
             physical_address, is_write=is_write, core=self.core_id, owner=self.owner
@@ -253,19 +293,226 @@ class MemoryHierarchy:
         latency, whether the access missed in the LLC (and therefore needs
         an MSHR), and the MSHR bank a miss occupies.
         """
-        physical, extra, _walk_accesses, fault = self._translate(virtual_address, self.dtlb)
+        # Inlined ``_translate`` (identical state/stats effects): probe the
+        # D-TLB in place, deferring to ``_translate_miss_tail`` on a miss.
+        page_table = self.page_table
+        extra = 0
+        fault = False
+        if page_table is None:
+            physical = virtual_address % self._dram_bytes
+        else:
+            tlb = self.dtlb
+            vpn = virtual_address // tlb.page_bytes
+            entries = tlb._sets[vpn % tlb.num_sets]
+            counter = tlb._c_access
+            if counter is None:
+                counter = tlb._c_access = tlb._stats.counter(f"{tlb.name}.access")
+            counter.value += 1
+            if vpn in entries and tlb._asid_of.get(vpn, 0) == 0:
+                if entries[0] != vpn:
+                    entries.remove(vpn)
+                    entries.insert(0, vpn)
+                counter = tlb._c_hit
+                if counter is None:
+                    counter = tlb._c_hit = tlb._stats.counter(f"{tlb.name}.hit")
+                counter.value += 1
+                page_bytes = page_table.page_bytes
+                ppn = page_table.mappings.get(virtual_address // page_bytes)
+                if ppn is None:
+                    physical = None
+                    fault = True
+                else:
+                    physical = ppn * page_bytes + virtual_address % page_bytes
+            else:
+                counter = tlb._c_miss
+                if counter is None:
+                    counter = tlb._c_miss = tlb._stats.counter(f"{tlb.name}.miss")
+                counter.value += 1
+                tlb.fill(virtual_address, 0)
+                physical, extra, _walk, fault = self._translate_miss_tail(virtual_address)
         if fault:
             counter = self._c_page_faults
             if counter is None:
                 counter = self._c_page_faults = self._stats.counter("mem.page_faults")
             counter.value += 1
             return (extra, False, 0)
-        latency, llc_parts, _blocked = self._physical_data_timing(
-            physical, is_write=is_write
+        # Inlined ``_physical_data_timing`` (identical state/stats effects).
+        if self.region_allowed is not None and not self.region_allowed(physical):
+            counter = self._c_blocked_accesses
+            if counter is None:
+                counter = self._c_blocked_accesses = self._stats.counter(
+                    "protection.blocked_accesses"
+                )
+            counter.value += 1
+            return (extra, False, 0)
+        if self._l1d_probe(physical, is_write, self.owner):
+            return (self.l1d.hit_latency + extra, False, 0)
+        llc_parts = self.llc.access_parts(
+            physical, is_write=is_write, core=self.core_id, owner=self.owner
         )
-        if llc_parts is None or llc_parts[0]:
-            return (latency + extra, False, 0)
-        return (latency + extra, True, llc_parts[3])
+        counter = self._c_data_llc_access
+        if counter is None:
+            counter = self._c_data_llc_access = self._stats.counter("data.llc_access")
+        counter.value += 1
+        latency = self.l1d.hit_latency + llc_parts[1] + extra
+        if llc_parts[0]:
+            return (latency, False, 0)
+        return (latency, True, llc_parts[3])
+
+    def prime_data_timing(self, addresses) -> None:
+        """Warm-up prime of the data-side hierarchy (fast kernel only).
+
+        State- and statistics-identical to calling
+        :meth:`data_access_timing` on every address in ``addresses`` and
+        discarding the results, which is exactly what the processor's
+        warm-up loop does: every hot handle (TLB set lists, page-table
+        mappings, L1 probe, LLC tag access) is bound once for the whole
+        batch instead of per access.  The common case — a D-TLB hit — is
+        handled in the loop; anything else (TLB miss, page fault, blocked
+        region) falls back to the full accessor, whose counter bumps then
+        happen exactly once per access, as in the reference.
+        """
+        page_table = self.page_table
+        data_access_timing = self.data_access_timing
+        if page_table is None:
+            for virtual_address in addresses:
+                data_access_timing(virtual_address)
+            return
+        tlb = self.dtlb
+        tlb_page_bytes = tlb.page_bytes
+        tlb_num_sets = tlb.num_sets
+        tlb_sets = tlb._sets
+        asid_get = tlb._asid_of.get
+        page_bytes = page_table.page_bytes
+        mappings_get = page_table.mappings.get
+        region_allowed = self.region_allowed
+        l1d_probe = self._l1d_probe
+        llc = self.llc
+        llc_cache_access_parts = llc._cache_access_parts
+        owner = self.owner
+        c_tlb_access = tlb._c_access
+        c_tlb_hit = tlb._c_hit
+        c_llc_access = self._c_data_llc_access
+        for virtual_address in addresses:
+            vpn = virtual_address // tlb_page_bytes
+            entries = tlb_sets[vpn % tlb_num_sets]
+            if vpn not in entries or asid_get(vpn, 0) != 0:
+                data_access_timing(virtual_address)
+                continue
+            if c_tlb_access is None:
+                c_tlb_access = tlb._c_access = tlb._stats.counter(f"{tlb.name}.access")
+            c_tlb_access.value += 1
+            if entries[0] != vpn:
+                entries.remove(vpn)
+                entries.insert(0, vpn)
+            if c_tlb_hit is None:
+                c_tlb_hit = tlb._c_hit = tlb._stats.counter(f"{tlb.name}.hit")
+            c_tlb_hit.value += 1
+            ppn = mappings_get(virtual_address // page_bytes)
+            if ppn is None:
+                counter = self._c_page_faults
+                if counter is None:
+                    counter = self._c_page_faults = self._stats.counter("mem.page_faults")
+                counter.value += 1
+                continue
+            physical = ppn * page_bytes + virtual_address % page_bytes
+            if region_allowed is not None and not region_allowed(physical):
+                counter = self._c_blocked_accesses
+                if counter is None:
+                    counter = self._c_blocked_accesses = self._stats.counter(
+                        "protection.blocked_accesses"
+                    )
+                counter.value += 1
+                continue
+            if l1d_probe(physical, False, owner):
+                continue
+            # Inlined ``LastLevelCache.access_parts`` minus the latency and
+            # bank values the warm-up discards.
+            parts = llc_cache_access_parts(physical, False, owner)
+            if not parts[0] and parts[4]:
+                counter = llc._c_replacement_writeback
+                if counter is None:
+                    counter = llc._c_replacement_writeback = llc._stats.counter(
+                        "llc.replacement_writeback"
+                    )
+                counter.value += 1
+            if c_llc_access is None:
+                c_llc_access = self._c_data_llc_access = self._stats.counter(
+                    "data.llc_access"
+                )
+            c_llc_access.value += 1
+
+    def prime_fetch_timing(self, addresses) -> None:
+        """Warm-up prime of the instruction side (fast kernel only).
+
+        The I-side twin of :meth:`prime_data_timing`: identical state and
+        statistics effects to :meth:`fetch_access_timing` per address,
+        with the I-TLB hit case fused into the loop and everything else
+        delegated to the full accessor.
+        """
+        page_table = self.page_table
+        fetch_access_timing = self.fetch_access_timing
+        if page_table is None:
+            for virtual_address in addresses:
+                fetch_access_timing(virtual_address)
+            return
+        tlb = self.itlb
+        tlb_page_bytes = tlb.page_bytes
+        tlb_num_sets = tlb.num_sets
+        tlb_sets = tlb._sets
+        asid_get = tlb._asid_of.get
+        page_bytes = page_table.page_bytes
+        mappings_get = page_table.mappings.get
+        region_allowed = self.region_allowed
+        l1i_probe = self._l1i_probe
+        llc = self.llc
+        llc_cache_access_parts = llc._cache_access_parts
+        owner = self.owner
+        c_tlb_access = tlb._c_access
+        c_tlb_hit = tlb._c_hit
+        for virtual_address in addresses:
+            vpn = virtual_address // tlb_page_bytes
+            entries = tlb_sets[vpn % tlb_num_sets]
+            if vpn not in entries or asid_get(vpn, 0) != 0:
+                fetch_access_timing(virtual_address)
+                continue
+            if c_tlb_access is None:
+                c_tlb_access = tlb._c_access = tlb._stats.counter(f"{tlb.name}.access")
+            c_tlb_access.value += 1
+            if entries[0] != vpn:
+                entries.remove(vpn)
+                entries.insert(0, vpn)
+            if c_tlb_hit is None:
+                c_tlb_hit = tlb._c_hit = tlb._stats.counter(f"{tlb.name}.hit")
+            c_tlb_hit.value += 1
+            ppn = mappings_get(virtual_address // page_bytes)
+            if ppn is None:
+                counter = self._c_instruction_page_faults
+                if counter is None:
+                    counter = self._c_instruction_page_faults = self._stats.counter(
+                        "mem.instruction_page_faults"
+                    )
+                counter.value += 1
+                continue
+            physical = ppn * page_bytes + virtual_address % page_bytes
+            if region_allowed is not None and not region_allowed(physical):
+                counter = self._c_blocked_fetches
+                if counter is None:
+                    counter = self._c_blocked_fetches = self._stats.counter(
+                        "protection.blocked_fetches"
+                    )
+                counter.value += 1
+                continue
+            if l1i_probe(physical, False, owner):
+                continue
+            parts = llc_cache_access_parts(physical, False, owner)
+            if not parts[0] and parts[4]:
+                counter = llc._c_replacement_writeback
+                if counter is None:
+                    counter = llc._c_replacement_writeback = llc._stats.counter(
+                        "llc.replacement_writeback"
+                    )
+                counter.value += 1
 
     def data_access(self, virtual_address: int, *, is_write: bool = False) -> HierarchyAccess:
         """Perform a load or store through the data-side hierarchy."""
@@ -335,7 +582,43 @@ class MemoryHierarchy:
         returning only the fetch latency and the L1I hit bit the front
         end's stall computation consumes.
         """
-        physical, extra, _walk_accesses, fault = self._translate(virtual_address, self.itlb)
+        # Inlined ``_translate`` (identical state/stats effects): probe the
+        # I-TLB in place, deferring to ``_translate_miss_tail`` on a miss.
+        page_table = self.page_table
+        extra = 0
+        fault = False
+        if page_table is None:
+            physical = virtual_address % self._dram_bytes
+        else:
+            tlb = self.itlb
+            vpn = virtual_address // tlb.page_bytes
+            entries = tlb._sets[vpn % tlb.num_sets]
+            counter = tlb._c_access
+            if counter is None:
+                counter = tlb._c_access = tlb._stats.counter(f"{tlb.name}.access")
+            counter.value += 1
+            if vpn in entries and tlb._asid_of.get(vpn, 0) == 0:
+                if entries[0] != vpn:
+                    entries.remove(vpn)
+                    entries.insert(0, vpn)
+                counter = tlb._c_hit
+                if counter is None:
+                    counter = tlb._c_hit = tlb._stats.counter(f"{tlb.name}.hit")
+                counter.value += 1
+                page_bytes = page_table.page_bytes
+                ppn = page_table.mappings.get(virtual_address // page_bytes)
+                if ppn is None:
+                    physical = None
+                    fault = True
+                else:
+                    physical = ppn * page_bytes + virtual_address % page_bytes
+            else:
+                counter = tlb._c_miss
+                if counter is None:
+                    counter = tlb._c_miss = tlb._stats.counter(f"{tlb.name}.miss")
+                counter.value += 1
+                tlb.fill(virtual_address, 0)
+                physical, extra, _walk, fault = self._translate_miss_tail(virtual_address)
         if fault:
             counter = self._c_instruction_page_faults
             if counter is None:
@@ -353,7 +636,7 @@ class MemoryHierarchy:
             counter.value += 1
             return (0, True)
         hit_latency = self.l1i.hit_latency
-        if self._l1i_access_parts(physical, owner=self.owner)[0]:
+        if self._l1i_probe(physical, False, self.owner):
             return (hit_latency + extra, True)
         llc_parts = self.llc.access_parts(physical, core=self.core_id, owner=self.owner)
         return (hit_latency + extra + llc_parts[1], False)

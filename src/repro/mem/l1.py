@@ -57,6 +57,9 @@ class L1Cache:
             policy=PseudoRandomPolicy(policy_rng),
             stats=self._stats,
         )
+        # Hot handle for the hierarchy: the tag array's access entry
+        # point (the slab-backed implementation in the fast kernel).
+        self.access_parts = self._cache.access_parts
 
     @property
     def stats(self) -> StatsRegistry:

@@ -117,9 +117,13 @@ class LastLevelCache:
             stats=self._stats,
         )
         self._mshrs = MshrFile(config.mshr)
-        # Hot-path constants and lazily cached counter handles.
+        # Hot-path constants and lazily cached counter handles.  The tag
+        # array's access entry point is bound once (in the fast kernel it
+        # is the slab-backed implementation installed at construction).
+        self._cache_access_parts = self._cache.access_parts
         self._hit_latency = config.hit_latency + config.extra_pipeline_latency
         self._mshr_banks = config.mshr.banks
+        self._dram_latency = dram.config.latency_cycles
         self._c_replacement_writeback: Optional[object] = None
 
     @property
@@ -149,7 +153,6 @@ class LastLevelCache:
     def access_parts(
         self,
         physical_address: int,
-        *,
         is_write: bool = False,
         core: int = 0,
         owner: Optional[int] = None,
@@ -161,14 +164,14 @@ class LastLevelCache:
         statistics effects to :meth:`access` without constructing an
         :class:`LlcAccessOutcome`.
         """
-        hit, set_index, _way, _tag, evicted_dirty, evicted_owner = self._cache.access_parts(
-            physical_address, is_write=is_write, owner=owner
+        hit, set_index, _way, _tag, evicted_dirty, evicted_owner = self._cache_access_parts(
+            physical_address, is_write, owner
         )
         bank = set_index % self._mshr_banks
         latency = self._hit_latency
         if hit:
             return (True, latency, set_index, bank, False, None)
-        latency += self.dram.config.latency_cycles
+        latency += self._dram_latency
         if evicted_dirty:
             counter = self._c_replacement_writeback
             if counter is None:

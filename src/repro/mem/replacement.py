@@ -117,7 +117,12 @@ class LruPolicy(ReplacementPolicy):
         stack.append(way)
 
     def reset(self) -> None:
-        self._stacks = [list(range(self._ways)) for _ in range(self._num_sets)]
+        # Reset in place: the slab-backed cache fast path binds the outer
+        # stack list once at construction, so the container object must
+        # survive a purge.
+        stacks = self._stacks
+        for set_index in range(self._num_sets):
+            stacks[set_index] = list(range(self._ways))
 
     def recency_order(self, set_index: int) -> List[int]:
         """Most- to least-recently-used way order (exposed for tests)."""

@@ -81,8 +81,11 @@ class Tlb:
             counter = self._c_access = self._stats.counter(f"{self.name}.access")
         counter.value += 1
         if vpn in entries and self._asid_of.get(vpn, asid) == asid:
-            entries.remove(vpn)
-            entries.insert(0, vpn)
+            # Move-to-front is a no-op when the entry is already frontmost
+            # (the common case under page-level locality).
+            if entries[0] != vpn:
+                entries.remove(vpn)
+                entries.insert(0, vpn)
             counter = self._c_hit
             if counter is None:
                 counter = self._c_hit = self._stats.counter(f"{self.name}.hit")

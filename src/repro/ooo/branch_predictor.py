@@ -121,29 +121,37 @@ class TournamentPredictor:
             counter.value += 1
 
         # Choice counter trains toward whichever component was right.
+        # Saturation is inlined: counters stay in [0, max], so an
+        # increment only needs the upper clamp and a decrement the lower.
         if local_taken != global_taken:
+            choice_counters = self._choice_counters
+            choice = choice_counters[global_index]
             if global_taken == taken:
-                self._choice_counters[global_index] = _saturate(
-                    self._choice_counters[global_index] + 1, 3
-                )
-            else:
-                self._choice_counters[global_index] = _saturate(
-                    self._choice_counters[global_index] - 1, 3
-                )
+                if choice < 3:
+                    choice_counters[global_index] = choice + 1
+            elif choice > 0:
+                choice_counters[global_index] = choice - 1
 
-        step = 1 if taken else -1
+        taken_bit = 1 if taken else 0
 
         # Local component.
-        self._local_counters[local_history] = _saturate(
-            local_counter + step, self._local_counter_max
-        )
+        if taken:
+            if local_counter < self._local_counter_max:
+                self._local_counters[local_history] = local_counter + 1
+        elif local_counter > 0:
+            self._local_counters[local_history] = local_counter - 1
         self._local_history[local_index] = (
-            (local_history << 1) | (1 if taken else 0)
+            (local_history << 1) | taken_bit
         ) & self._local_history_mask
 
         # Global component.
-        global_counters[global_index] = _saturate(global_counters[global_index] + step, 3)
-        self._global_history = ((self._global_history << 1) | (1 if taken else 0)) & (
+        global_counter = global_counters[global_index]
+        if taken:
+            if global_counter < 3:
+                global_counters[global_index] = global_counter + 1
+        elif global_counter > 0:
+            global_counters[global_index] = global_counter - 1
+        self._global_history = ((self._global_history << 1) | taken_bit) & (
             self._global_history_mask
         )
         return correct

@@ -27,9 +27,9 @@ from repro.common.stats import StatsRegistry
 from repro.isa.instructions import Instruction, InstructionKind, TrapCause
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.ooo.frontend import FrontEnd
-from repro.ooo.lsq import LoadStoreQueue, StoreBuffer
-from repro.ooo.rename import FreeList, RenameTable
-from repro.ooo.rob import IssueQueue, ReorderBuffer
+from repro.ooo.lsq import LoadStoreQueue, MissSlots, StoreBuffer
+from repro.ooo.rename import FreeList, ReadyFile, RenameTable
+from repro.ooo.rob import CommitRing, IssueQueue, ReorderBuffer
 
 
 
@@ -373,18 +373,50 @@ class OutOfOrderCore:
 
         Differences are strictly mechanical — attribute lookups hoisted
         into locals, enum membership tests against prebound members,
-        counter handles bound once, and the per-instruction
-        ``FetchOutcome``/``HierarchyAccess`` records replaced by the
-        timing tuples of :meth:`FrontEnd.fetch_timing` and
-        :meth:`MemoryHierarchy.data_access_timing`.  The equivalence
-        suite asserts bit-identical results against the reference.
+        counter handles bound once, the per-instruction
+        ``FetchOutcome``/``HierarchyAccess`` records replaced by inlined
+        fetch-slot arithmetic and the timing tuple of
+        :meth:`MemoryHierarchy.data_access_timing`, and the per-entry hot
+        state held in flat slot structures (:class:`CommitRing`,
+        :class:`ReadyFile`, :class:`MissSlots`) instead of
+        deque/dict/tuple-list containers.
+
+        The front-end fetch state (``_current_cycle`` / ``_slots_used`` /
+        ``_last_fetch_line``) lives in locals for the duration of the
+        loop; it is synchronised back to the :class:`FrontEnd` around any
+        callback that may observe or scrub it (trap hooks, the purge
+        callback, which clears the fetch line via ``flush_predictors``)
+        and when the run ends.  ``fetch_range`` is bound once: nothing
+        changes it mid-run.
+
+        ALU instructions additionally go through a memoized timing lane:
+        for a straight-line ALU instruction (same fetch line, no trap
+        pending) the cycle deltas it produces are a pure function of the
+        pipeline state *relative to the fetch base cycle* — the memo key.
+        A key miss computes the deltas once; a key hit replays them.
+        Divergent state (an instruction-line crossing, a pending
+        redirect past the fetch cycle, a timer trap about to fire, or a
+        machine-mode fetch range) fails the applicability gate and takes
+        the generic path, which is the "invalidated when cache/branch
+        state diverges" rule: anything whose timing could depend on cache
+        or predictor state is never served from the memo.  The
+        equivalence suite asserts bit-identical results against the
+        reference.
         """
         config = self.config
         stats = self.stats
         frontend = self.frontend
-        fetch_timing = frontend.fetch_timing
         resolve_control_timing = frontend.resolve_control_timing
-        frontend_redirect = frontend.redirect
+        predictor_predict = frontend.predictor.predict
+        btb_lookup = frontend.btb.lookup
+        ras_push = frontend.ras.push
+        ras_pop = frontend.ras.pop
+        fetch_width = frontend.fetch_width
+        fetch_range = frontend.fetch_range
+        line_bytes = frontend._line_bytes
+        l1i_hit_latency = frontend._l1i_hit_latency
+        btb_miss_bubble = frontend.BTB_MISS_BUBBLE
+        fetch_access_timing = self.hierarchy.fetch_access_timing
         data_access_timing = self.hierarchy.data_access_timing
 
         mshr_config = self.hierarchy.llc.config.mshr
@@ -418,23 +450,42 @@ class OutOfOrderCore:
         TIMER_INTERRUPT = TrapCause.TIMER_INTERRUPT
         SYSCALL_CAUSE = TrapCause.SYSCALL
 
-        commit_history: deque = deque(maxlen=rob_entries)
-        commit_history_append = commit_history.append
-        reg_ready: Dict[int, int] = {}
-        reg_ready_get = reg_ready.get
+        ALU = InstructionKind.ALU
+
+        # Slot-backed hot state (tentpole: array/slot representations).
+        commit_ring = CommitRing(rob_entries)
+        ring_cycles = commit_ring.cycles
+        ring_index = 0
+        ready_file = ReadyFile()
+        reg_ready = ready_file.cycles
+        reg_count = len(reg_ready)
         alu_slots = [0] * config.alu_units
         mem_slots = [0] * config.mem_units
         fp_slots = [0] * config.fp_units
-        outstanding_misses: List[tuple] = []   # (complete_cycle, bank)
+        miss_slots = MissSlots(mshr_capacity)
+        miss_completions = miss_slots.completions
+        miss_banks = miss_slots.banks
+        miss_count = 0
         fetch_floor = 0
         dispatch_floor = 0
         last_commit = 0
-        commit_window: deque = deque(maxlen=max(1, config.commit_width))
-        commit_window_maxlen = commit_window.maxlen
-        commit_window_append = commit_window.append
+        window_len = max(1, config.commit_width)
+        window_ring = CommitRing(window_len)
+        window_cycles = window_ring.cycles
+        window_index = 0
         committed = 0
         committed_since_trap = 0
         limit = max_instructions if max_instructions is not None else float("inf")
+
+        # Front-end fetch state, held in locals (see docstring).
+        fe_cycle = frontend._current_cycle
+        fe_slots = frontend._slots_used
+        fe_line = frontend._last_fetch_line
+
+        # Memoized ALU timing lane (see docstring).
+        memo_enabled = config.alu_units == 2 and fetch_range is None
+        memo: Dict[tuple, tuple] = {}
+        memo_get = memo.get
 
         counter_committed = stats.counter("core.instructions")
         counter_branches = stats.counter("core.branches")
@@ -443,24 +494,204 @@ class OutOfOrderCore:
         counter_flush_stall = stats.counter("core.flush_stall_cycles")
         counter_mshr_wait = stats.counter("core.mshr_wait_cycles")
         counter_mispredict_redirects = stats.counter("core.mispredict_redirects")
+        counter_fetched = stats.counter("frontend.fetched")
+        counter_range_violations = None
+        counter_ras_mispredicts = None
 
         for instruction in instructions:
             if committed >= limit:
                 break
 
-            # ---------------- fetch ----------------
-            fetch_cycle, predicted_taken, target_known = fetch_timing(instruction, fetch_floor)
+            # One tuple unpack instead of per-field descriptor lookups
+            # (Instruction is a NamedTuple, i.e. a real tuple).
+            (
+                kind,
+                _sequence,
+                pc,
+                dst,
+                srcs,
+                vaddr,
+                _sizes,
+                _branch_id,
+                _taken,
+                target,
+                trap,
+            ) = instruction
+
+            # ---------------- memoized ALU lane ----------------
+            if (
+                memo_enabled
+                and kind is ALU
+                and trap is None
+                and committed >= window_len
+                and (not trap_interval or committed_since_trap + 1 < trap_interval)
+            ):
+                if fetch_floor > fe_cycle:
+                    base = fetch_floor
+                    eff_slots = 0
+                else:
+                    base = fe_cycle
+                    eff_slots = fe_slots
+                if pc // line_bytes == fe_line:
+                    # Straight-line fetch: no i-cache access, the timing is
+                    # a pure function of the relative pipeline state.
+                    src_max = 0
+                    for source in srcs:
+                        if source < reg_count:
+                            source_ready = reg_ready[source]
+                            if source_ready > src_max:
+                                src_max = source_ready
+                    fetch_rel = 1 if eff_slots >= fetch_width else 0
+                    dispatch = base + fetch_rel + frontend_depth
+                    if dispatch_floor > dispatch:
+                        dispatch = dispatch_floor
+                    if committed >= rob_entries:
+                        oldest = ring_cycles[ring_index]
+                        if oldest > dispatch:
+                            dispatch = oldest
+                    ready = dispatch if dispatch > src_max else src_max
+                    signature = (
+                        eff_slots,
+                        ready - base,
+                        alu_slots[0] - base,
+                        alu_slots[1] - base,
+                        last_commit - base,
+                        window_cycles[window_index] - base,
+                    )
+                    deltas = memo_get(signature)
+                    if deltas is not None:
+                        slot_index, issue_rel, commit_rel = deltas
+                        fe_cycle = base + fetch_rel
+                        fe_slots = (0 if fetch_rel else eff_slots) + 1
+                        alu_slots[slot_index] = base + issue_rel + 1
+                        commit = base + commit_rel
+                        window_cycles[window_index] = commit
+                        window_index += 1
+                        if window_index == window_len:
+                            window_index = 0
+                        last_commit = commit
+                        ring_cycles[ring_index] = commit
+                        ring_index += 1
+                        if ring_index == rob_entries:
+                            ring_index = 0
+                        if dst >= 0:
+                            if dst >= reg_count:
+                                reg_ready.extend([0] * (dst + 1 - reg_count))
+                                reg_count = dst + 1
+                            reg_ready[dst] = base + issue_rel + 1
+                        committed += 1
+                        committed_since_trap += 1
+                        counter_committed.value += 1
+                        counter_fetched.value += 1
+                        continue
+                    # Memo miss: compute the ALU timing once and record the
+                    # deltas for this signature.
+                    fe_cycle = base + fetch_rel
+                    fe_slots = (0 if fetch_rel else eff_slots) + 1
+                    alu0 = alu_slots[0]
+                    alu1 = alu_slots[1]
+                    if alu1 < alu0:
+                        slot_index = 1
+                        issue = alu1
+                    else:
+                        slot_index = 0
+                        issue = alu0
+                    if ready > issue:
+                        issue = ready
+                    alu_slots[slot_index] = issue + 1
+                    complete = issue + 1
+                    commit = complete if complete > last_commit else last_commit
+                    window_oldest = window_cycles[window_index]
+                    if commit <= window_oldest:
+                        commit = window_oldest + 1
+                    window_cycles[window_index] = commit
+                    window_index += 1
+                    if window_index == window_len:
+                        window_index = 0
+                    last_commit = commit
+                    ring_cycles[ring_index] = commit
+                    ring_index += 1
+                    if ring_index == rob_entries:
+                        ring_index = 0
+                    if dst >= 0:
+                        if dst >= reg_count:
+                            reg_ready.extend([0] * (dst + 1 - reg_count))
+                            reg_count = dst + 1
+                        reg_ready[dst] = complete
+                    committed += 1
+                    committed_since_trap += 1
+                    counter_committed.value += 1
+                    counter_fetched.value += 1
+                    if len(memo) > 65536:
+                        memo.clear()
+                    memo[signature] = (slot_index, issue - base, commit - base)
+                    continue
+
+            # ---------------- fetch (inlined FrontEnd.fetch_timing) -----
+            if fetch_floor > fe_cycle:
+                fe_cycle = fetch_floor
+                fe_slots = 0
+            if fe_slots >= fetch_width:
+                fe_cycle += 1
+                fe_slots = 0
+            if fetch_range is not None:
+                range_low, range_high = fetch_range
+                if not (range_low <= pc < range_high):
+                    if counter_range_violations is None:
+                        counter_range_violations = stats.counter(
+                            "frontend.fetch_range_violations"
+                        )
+                    counter_range_violations.value += 1
+            line = pc // line_bytes
+            if line != fe_line:
+                fe_line = line
+                fetch_latency, l1_hit = fetch_access_timing(pc)
+                if not l1_hit:
+                    # The fetch stream stalls for the miss latency.
+                    fe_cycle += fetch_latency - l1i_hit_latency
+                    fe_slots = 0
+            fetch_cycle = fe_cycle
+            fe_slots += 1
+            counter_fetched.value += 1
+
+            is_control = False
+            if kind is BRANCH:
+                is_control = True
+                predicted_taken = predictor_predict(pc)
+                target_known = True
+                if predicted_taken and btb_lookup(pc) is None:
+                    target_known = False
+                    fe_cycle += btb_miss_bubble
+                    fe_slots = 0
+            elif kind is JUMP:
+                is_control = True
+                predicted_taken = True
+                target_known = btb_lookup(pc) is not None
+                if not target_known:
+                    fe_cycle += btb_miss_bubble
+                    fe_slots = 0
+                ras_push(pc + 4)
+            elif kind is RETURN:
+                is_control = True
+                predicted_taken = True
+                predicted_return = ras_pop()
+                target_known = predicted_return is not None and (
+                    target is None or predicted_return == target
+                )
+                if not target_known:
+                    if counter_ras_mispredicts is None:
+                        counter_ras_mispredicts = stats.counter("frontend.ras_mispredicts")
+                    counter_ras_mispredicts.value += 1
+
             dispatch = fetch_cycle + frontend_depth
             if dispatch_floor > dispatch:
                 dispatch = dispatch_floor
 
             # ROB occupancy: wait for the instruction rob_entries older to commit.
-            if len(commit_history) == rob_entries:
-                oldest = commit_history[0]
+            if committed >= rob_entries:
+                oldest = ring_cycles[ring_index]
                 if oldest > dispatch:
                     dispatch = oldest
-
-            kind = instruction.kind
 
             # NONSPEC / serialising instructions wait for an empty ROB before
             # they can be renamed; because rename is in order, everything
@@ -479,8 +710,8 @@ class OutOfOrderCore:
 
             # ---------------- issue ----------------
             ready = dispatch
-            for source in instruction.srcs:
-                source_ready = reg_ready_get(source, 0)
+            for source in srcs:
+                source_ready = reg_ready[source] if source < reg_count else 0
                 if source_ready > ready:
                     ready = source_ready
 
@@ -506,22 +737,31 @@ class OutOfOrderCore:
             if kind is LOAD or kind is STORE:
                 is_store = kind is STORE
                 latency, llc_miss, llc_bank = data_access_timing(
-                    instruction.vaddr or 0, is_write=is_store
+                    vaddr or 0, is_write=is_store
                 )
                 if llc_miss:
                     # The miss needs an MSHR (and a bank slot); wait for
                     # availability based on the misses still outstanding.
                     start = issue
-                    if outstanding_misses:
-                        outstanding_misses[:] = [
-                            entry for entry in outstanding_misses if entry[0] > start
-                        ]
-                        if len(outstanding_misses) >= mshr_capacity:
-                            completions = sorted(entry[0] for entry in outstanding_misses)
-                            start = completions[len(outstanding_misses) - mshr_capacity]
+                    if miss_count:
+                        # Expire completed misses in place.
+                        write_index = 0
+                        for read_index in range(miss_count):
+                            completion = miss_completions[read_index]
+                            if completion > start:
+                                if write_index != read_index:
+                                    miss_completions[write_index] = completion
+                                    miss_banks[write_index] = miss_banks[read_index]
+                                write_index += 1
+                        miss_count = write_index
+                        if miss_count >= mshr_capacity:
+                            completions = sorted(miss_completions[:miss_count])
+                            start = completions[miss_count - mshr_capacity]
                         if bank_count > 1:
                             bank_completions = sorted(
-                                entry[0] for entry in outstanding_misses if entry[1] == llc_bank
+                                miss_completions[entry]
+                                for entry in range(miss_count)
+                                if miss_banks[entry] == llc_bank
                             )
                             if len(bank_completions) >= bank_capacity:
                                 candidate = bank_completions[len(bank_completions) - bank_capacity]
@@ -530,9 +770,9 @@ class OutOfOrderCore:
                             if stall_on_any_full_bank:
                                 for bank in range(bank_count):
                                     per_bank = sorted(
-                                        entry[0]
-                                        for entry in outstanding_misses
-                                        if entry[1] == bank
+                                        miss_completions[entry]
+                                        for entry in range(miss_count)
+                                        if miss_banks[entry] == bank
                                     )
                                     if len(per_bank) >= bank_capacity:
                                         candidate = per_bank[len(per_bank) - bank_capacity]
@@ -541,7 +781,13 @@ class OutOfOrderCore:
                         mshr_wait = start - issue
                         if mshr_wait:
                             counter_mshr_wait.value += mshr_wait
-                    outstanding_misses.append((start + latency, llc_bank))
+                    if miss_count == len(miss_completions):
+                        miss_completions.append(start + latency)
+                        miss_banks.append(llc_bank)
+                    else:
+                        miss_completions[miss_count] = start + latency
+                        miss_banks[miss_count] = llc_bank
+                    miss_count += 1
                 if is_store:
                     # Stores complete through the store buffer; they do not
                     # hold up dependents or commit for their miss latency.
@@ -556,31 +802,45 @@ class OutOfOrderCore:
                 complete = issue + 1
 
             # ---------------- control resolution ----------------
-            if kind is BRANCH or kind is JUMP or kind is RETURN:
+            if is_control:
                 counter_branches.value += 1
                 if resolve_control_timing(instruction, predicted_taken, target_known):
                     counter_mispredict_redirects.value += 1
                     redirect = complete + mispredict_penalty
                     if redirect > fetch_floor:
                         fetch_floor = redirect
-                    frontend_redirect(redirect)
+                    # Inlined FrontEnd.redirect.
+                    if redirect > fe_cycle:
+                        fe_cycle = redirect
+                        fe_slots = 0
+                    fe_line = None
 
             # ---------------- commit ----------------
             commit = complete if complete > last_commit else last_commit
-            if len(commit_window) == commit_window_maxlen and commit <= commit_window[0]:
-                commit = commit_window[0] + 1
-            commit_window_append(commit)
+            if committed >= window_len:
+                window_oldest = window_cycles[window_index]
+                if commit <= window_oldest:
+                    commit = window_oldest + 1
+            window_cycles[window_index] = commit
+            window_index += 1
+            if window_index == window_len:
+                window_index = 0
             last_commit = commit
-            commit_history_append(commit)
-            dst = instruction.dst
+            ring_cycles[ring_index] = commit
+            ring_index += 1
+            if ring_index == rob_entries:
+                ring_index = 0
             if dst >= 0:
+                if dst >= reg_count:
+                    reg_ready.extend([0] * (dst + 1 - reg_count))
+                    reg_count = dst + 1
                 reg_ready[dst] = complete
             committed += 1
             committed_since_trap += 1
             counter_committed.value += 1
 
             # ---------------- traps ----------------
-            trap_cause: Optional[TrapCause] = instruction.trap
+            trap_cause: Optional[TrapCause] = trap
             if trap_cause is None and trap_interval:
                 if committed_since_trap >= trap_interval:
                     trap_cause = TIMER_INTERRUPT
@@ -589,6 +849,11 @@ class OutOfOrderCore:
                 counter_traps.value += 1
                 if trap_cause is SYSCALL_CAUSE:
                     counter_syscalls.value += 1
+                # Callbacks may observe or scrub front-end state (the purge
+                # clears the fetch line): synchronise the locals around them.
+                frontend._current_cycle = fe_cycle
+                frontend._slots_used = fe_slots
+                frontend._last_fetch_line = fe_line
                 for hook in trap_hooks:
                     hook(trap_cause)
                 penalty = trap_base_penalty
@@ -598,12 +863,29 @@ class OutOfOrderCore:
                     stall = self.purge_callback() + self.purge_callback()
                     counter_flush_stall.value += stall
                     penalty += stall
+                fe_cycle = frontend._current_cycle
+                fe_slots = frontend._slots_used
+                fe_line = frontend._last_fetch_line
                 floor = commit + penalty
                 if floor > fetch_floor:
                     fetch_floor = floor
-                frontend_redirect(fetch_floor)
+                # Inlined FrontEnd.redirect.
+                if fetch_floor > fe_cycle:
+                    fe_cycle = fetch_floor
+                    fe_slots = 0
+                fe_line = None
                 if fetch_floor > last_commit:
                     last_commit = fetch_floor
+
+        # Synchronise the state the loop kept in locals.
+        frontend._current_cycle = fe_cycle
+        frontend._slots_used = fe_slots
+        frontend._last_fetch_line = fe_line
+        commit_ring.index = ring_index
+        commit_ring.filled = committed if committed < rob_entries else rob_entries
+        window_ring.index = window_index
+        window_ring.filled = committed if committed < window_len else window_len
+        miss_slots.count = miss_count
 
         total_cycles = last_commit if committed else 0
         return CoreResult(cycles=total_cycles, instructions=committed, stats=stats)

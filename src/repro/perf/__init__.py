@@ -20,12 +20,14 @@ The CLI front end is ``python -m repro perf`` (see ``repro-bench perf
 against the committed baseline.
 """
 
-from repro.perf.profiler import ProfileReport, Profiler
+from repro.perf.profiler import ProfileReport, Profiler, component_shares_of
 from repro.perf.recorder import (
     BENCH_SCHEMA_VERSION,
+    COMMIT_RECORD_NAME,
     BenchComparison,
     BenchRecorder,
     calibration_score,
+    commit_record_path,
     compare_to_baseline,
     load_bench,
 )
@@ -45,6 +47,7 @@ from repro.perf.suite import (
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "COMMIT_RECORD_NAME",
     "BenchComparison",
     "BenchRecorder",
     "DEFAULT_SUITE_INSTRUCTIONS",
@@ -57,7 +60,9 @@ __all__ = [
     "SuiteMeasurement",
     "SuiteResult",
     "calibration_score",
+    "commit_record_path",
     "compare_to_baseline",
+    "component_shares_of",
     "load_bench",
     "pinned_service_request",
     "run_service_case",

@@ -22,7 +22,7 @@ import cProfile
 import pstats
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.analysis.engine import EvaluationSettings, RunRequest, execute_request
 from repro.api.requests import WorkloadRequest
@@ -37,6 +37,9 @@ _COMPONENT_ROOTS = (
     ("/repro/attacks/", "attacks"),
     ("/repro/analysis/", "analysis"),
     ("/repro/common/", "common"),
+    ("/repro/service/", "service"),
+    ("/repro/monitor/", "monitor"),
+    ("/repro/os_model/", "os_model"),
 )
 
 
@@ -45,6 +48,34 @@ def _component_of(filename: str) -> str:
         if fragment in filename:
             return label
     return "other"
+
+
+def component_shares_of(callable_: Callable[[], object]) -> Dict[str, float]:
+    """Per-component CPU-time shares of one call, measured with cProfile.
+
+    Runs ``callable_`` once under instrumentation and buckets total time
+    by package (``ooo``, ``mem``, ``service``, ...).  Instrumentation
+    slows the call several-fold, so never read throughput off this run —
+    callers time an un-instrumented run separately.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    callable_()
+    profile.disable()
+    stats = pstats.Stats(profile)
+    totals: Dict[str, float] = {}
+    grand_total = 0.0
+    for (filename, _line, _name), row in stats.stats.items():  # type: ignore[attr-defined]
+        tottime = row[2]
+        grand_total += tottime
+        component = _component_of(filename)
+        totals[component] = totals.get(component, 0.0) + tottime
+    if grand_total <= 0.0:
+        return {}
+    return {
+        component: seconds / grand_total
+        for component, seconds in sorted(totals.items(), key=lambda item: -item[1])
+    }
 
 
 @dataclass(frozen=True)
@@ -145,21 +176,4 @@ class Profiler:
 
     @staticmethod
     def _component_shares(resolved: RunRequest) -> Dict[str, float]:
-        profile = cProfile.Profile()
-        profile.enable()
-        execute_request(resolved)
-        profile.disable()
-        stats = pstats.Stats(profile)
-        totals: Dict[str, float] = {}
-        grand_total = 0.0
-        for (filename, _line, _name), row in stats.stats.items():  # type: ignore[attr-defined]
-            tottime = row[2]
-            grand_total += tottime
-            component = _component_of(filename)
-            totals[component] = totals.get(component, 0.0) + tottime
-        if grand_total <= 0.0:
-            return {}
-        return {
-            component: seconds / grand_total
-            for component, seconds in sorted(totals.items(), key=lambda item: -item[1])
-        }
+        return component_shares_of(lambda: execute_request(resolved))

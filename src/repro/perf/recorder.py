@@ -66,6 +66,42 @@ def calibration_score(
     return best
 
 
+#: Stable filename of the commit-friendly record at the repository root.
+#: Unlike the date-stamped ``BENCH_<date>.json`` artifacts (which CI
+#: uploads and forgets), this one file is meant to be *committed*: its
+#: diff from commit to commit IS the throughput trajectory.
+COMMIT_RECORD_NAME = "BENCH.json"
+
+
+def repo_root(start: Optional[Union[str, Path]] = None) -> Path:
+    """Git checkout root containing ``start`` (cwd by default).
+
+    Falls back to ``start`` itself outside a checkout so callers always
+    get a usable directory.
+    """
+    base = Path(start) if start is not None else Path.cwd()
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=str(base),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return base
+    top = completed.stdout.strip()
+    if completed.returncode == 0 and top:
+        return Path(top)
+    return base
+
+
+def commit_record_path(start: Optional[Union[str, Path]] = None) -> Path:
+    """Where the commit-friendly record lives: ``<repo root>/BENCH.json``."""
+    return repo_root(start) / COMMIT_RECORD_NAME
+
+
 def git_sha(repo_dir: Optional[Union[str, Path]] = None) -> str:
     """Current git commit SHA, or ``"unknown"`` outside a checkout."""
     try:
@@ -191,6 +227,7 @@ class BenchRecorder:
                     if calibration > 0.0
                     else 0.0
                 ),
+                "component_shares": dict(service.component_shares),
             }
         return record
 

@@ -17,8 +17,8 @@ JSON decoding rather than the kernel.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.engine import (
     EvaluationSettings,
@@ -30,7 +30,7 @@ from repro.analysis.engine import (
 )
 from repro.core.serialization import config_digest
 from repro.core.variants import parse_variant
-from repro.perf.profiler import ProfileReport, Profiler
+from repro.perf.profiler import ProfileReport, Profiler, component_shares_of
 from repro.service.simulation import ServiceOutcome, run_service
 
 #: (mitigation spec, benchmark) pairs of the pinned suite, in run order.
@@ -144,6 +144,8 @@ class ServiceCaseMeasurement:
             measures dispatching, monitor calls, and purges — not the
             cycle kernel).
         outcome: The serving outcome itself (for sanity checks).
+        component_shares: Fraction of serving CPU time per component
+            (empty unless measured with ``components=True``).
     """
 
     policy: str
@@ -152,6 +154,7 @@ class ServiceCaseMeasurement:
     requests: int
     wall_seconds: float
     outcome: ServiceOutcome
+    component_shares: Dict[str, float] = field(default_factory=dict)
 
     @property
     def requests_per_second(self) -> float:
@@ -177,30 +180,46 @@ def pinned_service_request(seed: int = PINNED_SEED) -> ServiceRunRequest:
     )
 
 
-def run_service_case(seed: int = PINNED_SEED) -> ServiceCaseMeasurement:
+def run_service_case(
+    seed: int = PINNED_SEED, *, components: bool = False
+) -> ServiceCaseMeasurement:
     """Measure the serving event loop on the pinned case.
 
     The per-benchmark kernel costs are resolved *before* the clock
     starts (they are the kernel suite's job to track), so the wall time
     gates the discrete-event loop itself: arrival handling, policy
     dispatch, monitor schedule/deschedule calls, and purges.
+
+    Args:
+        seed: Arrival-process seed (pin it unless studying seed noise).
+        components: Also run the event loop once under :mod:`cProfile`
+            and report per-component CPU-time shares (``service``,
+            ``monitor``, ``os_model``, ...).  Throughput is never read
+            off the instrumented run.
     """
     request = pinned_service_request(seed)
     cycles = resolve_service_cycles(request)
+
+    def _serve() -> ServiceOutcome:
+        return run_service(
+            request.config,
+            request.policy,
+            service_cycles=cycles,
+            seed=request.seed,
+            load=request.load,
+            load_profile=request.load_profile,
+            num_cores=request.num_cores,
+            num_tenants=request.num_tenants,
+            num_requests=request.num_requests,
+            instructions=request.instructions,
+        )
+
     started = time.perf_counter()
-    outcome = run_service(
-        request.config,
-        request.policy,
-        service_cycles=cycles,
-        seed=request.seed,
-        load=request.load,
-        load_profile=request.load_profile,
-        num_cores=request.num_cores,
-        num_tenants=request.num_tenants,
-        num_requests=request.num_requests,
-        instructions=request.instructions,
-    )
+    outcome = _serve()
     wall = time.perf_counter() - started
+    shares: Dict[str, float] = {}
+    if components:
+        shares = component_shares_of(_serve)
     return ServiceCaseMeasurement(
         policy=request.policy,
         variant=PINNED_SERVICE_CASE["spec"],
@@ -208,6 +227,7 @@ def run_service_case(seed: int = PINNED_SEED) -> ServiceCaseMeasurement:
         requests=outcome.requests,
         wall_seconds=wall,
         outcome=outcome,
+        component_shares=shares,
     )
 
 

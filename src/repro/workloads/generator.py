@@ -24,9 +24,12 @@ deterministic.
 
 from __future__ import annotations
 
+from bisect import bisect
 from collections import deque
+from itertools import accumulate
 from typing import Iterator, List
 
+from repro.common.fastpath import slow_path_enabled
 from repro.common.rng import DeterministicRng
 from repro.isa.instructions import Instruction, InstructionKind, TrapCause
 from repro.workloads.profiles import WorkloadProfile
@@ -268,7 +271,20 @@ class SyntheticWorkload:
     # Public stream
 
     def instructions(self, count: int) -> Iterator[Instruction]:
-        """Yield ``count`` dynamic instructions."""
+        """Yield ``count`` dynamic instructions.
+
+        Dispatches between two draw-for-draw identical implementations:
+        the reference stream below (kept verbatim as the oracle under
+        ``REPRO_SLOW_PATH=1``) and an inlined fast path that hoists every
+        RNG helper into locals.  Both consume the forked RNG streams in
+        exactly the same order, so the generated stream is bit-identical.
+        """
+        if slow_path_enabled():
+            return self._instructions_reference(count)
+        return self._instructions_fast(count)
+
+    def _instructions_reference(self, count: int) -> Iterator[Instruction]:
+        """Reference stream: one helper call per draw (the oracle path)."""
         profile = self.profile
         mix_items = list(profile.instruction_mix.items())
         kinds = [name for name, _ in mix_items]
@@ -367,4 +383,242 @@ class SyntheticWorkload:
 
             pc += 4
             if pc >= CODE_BASE + profile.code_footprint_bytes:
+                pc = CODE_BASE
+
+    def _instructions_fast(self, count: int) -> Iterator[Instruction]:
+        """Inlined stream generator (the fast kernel's path).
+
+        Identical draw sequence to :meth:`_instructions_reference`: every
+        ``chance``/``integer``/``geometric``/``weighted_picker`` helper is
+        expanded in place against bound ``random()``/``_randbelow()``
+        handles of the same forked :class:`random.Random` instances, which
+        is draw-for-draw equivalent (``randint(low, high)`` is
+        ``low + _randbelow(high - low + 1)``, and ``chance(p)`` draws only
+        for ``0 < p < 1``).
+        """
+        profile = self.profile
+        mix_items = list(profile.instruction_mix.items())
+        kinds = [name for name, _ in mix_items]
+        weights = [weight for _, weight in mix_items]
+        # Inline of DeterministicRng.weighted_picker, including its
+        # validation, against a bound random() handle.
+        cum_weights = list(accumulate(weights))
+        if len(cum_weights) != len(kinds):
+            raise ValueError("weights must match items")
+        total = cum_weights[-1] + 0.0
+        if total <= 0.0:
+            raise ValueError("total of weights must be greater than zero")
+        hi = len(kinds) - 1
+        mix_random = self._mix_rng._random.random
+
+        mem_rand = self._mem_rng._random
+        mem_random = mem_rand.random
+        mem_randbelow = getattr(mem_rand, "_randbelow", None)
+        # CPython's _randbelow(n) draws getrandbits(n.bit_length()) until
+        # the value is below n; inlining that loop against a bound
+        # getrandbits keeps the draw sequence bit-identical while skipping
+        # a Python call per draw.  Non-CPython implementations fall back
+        # to randrange (draw-identical to their randint).
+        mem_getrandbits = mem_rand.getrandbits if mem_randbelow is not None else None
+        if mem_randbelow is None:  # pragma: no cover - non-CPython fallback
+            mem_randbelow = mem_rand.randrange
+        branch_rand = self._branch_rng._random
+        branch_random = branch_rand.random
+        branch_randbelow = getattr(branch_rand, "_randbelow", None)
+        branch_getrandbits = (
+            branch_rand.getrandbits if branch_randbelow is not None else None
+        )
+        if branch_randbelow is None:  # pragma: no cover - non-CPython fallback
+            branch_randbelow = branch_rand.randrange
+        dep_random = self._dep_rng._random.random
+
+        # Hot constants.
+        generic_dep = self.GENERIC_DEPENDENCY_PROBABILITY
+        load_use_p = self.LOAD_USE_PROBABILITY
+        dep_mean = profile.dependency_mean_distance
+        dep_geo_p = 1.0 / dep_mean if dep_mean > 1.0 else 1.0
+        dep_geo_cap = dep_mean * 20
+        lu_fraction = profile.load_use_fraction
+        lu_draws = 0.0 < lu_fraction < 1.0
+        lu_always = lu_fraction >= 1.0
+        new_threshold = profile.new_line_fraction
+        far_threshold = new_threshold + profile.reuse_far_fraction
+        llc_threshold = far_threshold + profile.reuse_llc_fraction
+        far_window = profile.far_window_lines
+        far_window_2 = far_window * 2
+        llc_window = profile.llc_window_lines
+        l1_window = profile.l1_window_lines
+        footprint_lines = self._footprint_lines
+        history = self._line_history
+        history_append = history.append
+        branches = self._branches
+        static_branches = profile.static_branches
+        active_window = self._active_window
+        num_functions = self._num_functions
+        hot_functions = max(1, min(64, num_functions))
+        active_window_bits = active_window.bit_length()
+        hot_function_bits = hot_functions.bit_length()
+        num_function_bits = num_functions.bit_length()
+        syscall_interval = profile.syscall_interval
+        code_end = CODE_BASE + profile.code_footprint_bytes
+        instruction = Instruction
+        kind_alu = InstructionKind.ALU
+        kind_mul_div = InstructionKind.MUL_DIV
+        kind_fp = InstructionKind.FP
+        kind_load = InstructionKind.LOAD
+        kind_store = InstructionKind.STORE
+        kind_branch = InstructionKind.BRANCH
+        kind_syscall = InstructionKind.SYSCALL
+        trap_syscall = TrapCause.SYSCALL
+
+        recent_alu: deque = deque(maxlen=64)
+        recent_append = recent_alu.append
+        last_load_dst = -1
+        pc = CODE_BASE
+        next_register = 1
+        dynamic_branches = 0
+        since_syscall = 0
+
+        for sequence in range(count):
+            if syscall_interval and since_syscall >= syscall_interval:
+                since_syscall = 0
+                yield instruction(
+                    kind_syscall, sequence, pc, -1, (), None, 8, None, False, None, trap_syscall
+                )
+                continue
+            since_syscall += 1
+
+            class_name = kinds[bisect(cum_weights, mix_random() * total, 0, hi)]
+            dst = next_register
+            next_register = next_register + 1 if next_register < 31 else 1
+
+            # Inline of _sources (chance + geometric expanded in place).
+            src_dep = -1
+            src_load = -1
+            if recent_alu and dep_random() < generic_dep:
+                if dep_mean <= 1.0:
+                    distance = 1
+                else:
+                    distance = 1
+                    while not dep_random() < dep_geo_p:
+                        distance += 1
+                        if distance > dep_geo_cap:
+                            break
+                available = len(recent_alu)
+                if distance > available:
+                    distance = available
+                src_dep = recent_alu[-distance]
+            if last_load_dst >= 0:
+                if class_name == "load":
+                    if lu_always or (lu_draws and dep_random() < lu_fraction):
+                        src_load = last_load_dst
+                elif class_name in ("alu", "mul_div", "fp") and dep_random() < load_use_p:
+                    src_load = last_load_dst
+            if src_dep >= 0:
+                sources = (src_dep, src_load) if src_load >= 0 else (src_dep,)
+            else:
+                sources = (src_load,) if src_load >= 0 else ()
+
+            if class_name == "branch":
+                # Inline of _pick_branch and the target draws.
+                phase = dynamic_branches // BRANCH_PHASE_LENGTH
+                window_start = (phase * 37) % static_branches
+                if branch_getrandbits is not None:
+                    pick = branch_getrandbits(active_window_bits)
+                    while pick >= active_window:
+                        pick = branch_getrandbits(active_window_bits)
+                else:  # pragma: no cover - non-CPython fallback
+                    pick = branch_randbelow(active_window)
+                branch_id = (window_start + pick) % static_branches
+                dynamic_branches += 1
+                static_branch = branches[branch_id]
+                # Inline of _StaticBranch.next_outcome.
+                static_branch.executions += 1
+                if static_branch.is_hard:
+                    bias = static_branch.bias
+                    if bias <= 0.0:
+                        taken = False
+                    elif bias >= 1.0:
+                        taken = True
+                    else:
+                        taken = branch_random() < bias
+                else:
+                    taken = (
+                        static_branch.executions % static_branch.pattern_period
+                    ) != static_branch.off_phase
+                    noise = static_branch.noise
+                    if noise > 0.0 and (noise >= 1.0 or branch_random() < noise):
+                        taken = not taken
+                if branch_random() < 0.92:
+                    if branch_getrandbits is not None:
+                        target_function = branch_getrandbits(hot_function_bits)
+                        while target_function >= hot_functions:
+                            target_function = branch_getrandbits(hot_function_bits)
+                    else:  # pragma: no cover - non-CPython fallback
+                        target_function = branch_randbelow(hot_functions)
+                elif branch_getrandbits is not None:
+                    target_function = branch_getrandbits(num_function_bits)
+                    while target_function >= num_functions:
+                        target_function = branch_getrandbits(num_function_bits)
+                else:  # pragma: no cover - non-CPython fallback
+                    target_function = branch_randbelow(num_functions)
+                target = CODE_BASE + target_function * FUNCTION_BYTES
+                branch_pc = static_branch.pc
+                yield instruction(
+                    kind_branch, sequence, branch_pc, -1, sources, None, 8,
+                    branch_id, taken, target, None,
+                )
+                pc = target if taken else branch_pc + 4
+                continue
+
+            if class_name == "load" or class_name == "store":
+                # Inline of _data_address.
+                draw = mem_random()
+                if draw < new_threshold:
+                    line = self._next_new_line
+                    self._next_new_line = (line + 1) % footprint_lines
+                    history_append(line)
+                    if len(history) > far_window_2:
+                        del history[:far_window]
+                else:
+                    history_len = len(history)
+                    if draw < far_threshold:
+                        window = history_len if history_len < far_window else far_window
+                        low = history_len if history_len < llc_window else llc_window
+                    elif draw < llc_threshold:
+                        window = history_len if history_len < llc_window else llc_window
+                        low = history_len if history_len < l1_window else l1_window
+                    else:
+                        window = history_len if history_len < l1_window else l1_window
+                        low = 1
+                    if window < low:
+                        window = low
+                    span = window - low + 1
+                    if mem_getrandbits is not None:
+                        span_bits = span.bit_length()
+                        offset = mem_getrandbits(span_bits)
+                        while offset >= span:
+                            offset = mem_getrandbits(span_bits)
+                    else:  # pragma: no cover - non-CPython fallback
+                        offset = mem_randbelow(span)
+                    distance = low + offset
+                    line = history[-distance]
+                vaddr = DATA_BASE + line * LINE_BYTES
+                if class_name == "load":
+                    yield instruction(kind_load, sequence, pc, dst, sources, vaddr)
+                    last_load_dst = dst
+                else:
+                    yield instruction(kind_store, sequence, pc, -1, sources, vaddr)
+            elif class_name == "mul_div":
+                yield instruction(kind_mul_div, sequence, pc, dst, sources)
+                recent_append(dst)
+            elif class_name == "fp":
+                yield instruction(kind_fp, sequence, pc, dst, sources)
+                recent_append(dst)
+            else:
+                yield instruction(kind_alu, sequence, pc, dst, sources)
+                recent_append(dst)
+
+            pc += 4
+            if pc >= code_end:
                 pc = CODE_BASE

@@ -9,10 +9,19 @@ stats (cycles, instructions, every counter and histogram) and identical
 content-hash cache keys.
 """
 
+import random
+
 import pytest
 
-from repro.analysis.engine import EvaluationSettings, execute_request, request_for
-from repro.attacks.scenarios import run_scenario
+from repro.analysis.engine import (
+    EvaluationSettings,
+    ServiceRunRequest,
+    evaluation_config,
+    execute_request,
+    execute_service_request,
+    request_for,
+)
+from repro.attacks.scenarios import run_scenario, scenario_names
 from repro.common.fastpath import SLOW_PATH_ENV_VAR, slow_path_enabled
 from repro.core.serialization import config_digest, run_to_dict
 from repro.core.variants import Variant, all_variants, config_for_variant, parse_variant
@@ -24,6 +33,33 @@ EQUIVALENCE_SPECS = [variant.name for variant in all_variants()] + [
     "FLUSH+MISS",
     "PART+ARB",
 ]
+
+#: The five composable mitigations; bit i of a lattice point selects
+#: ``_LATTICE_MITIGATIONS[i]``, so masks 0..31 span the full 2^5 lattice.
+_LATTICE_MITIGATIONS = ("FLUSH", "PART", "MISS", "ARB", "NONSPEC")
+
+#: Seed of the lattice sample below.  Fixed so every run (and the CI
+#: slow-path spot-check leg) exercises the same points; bump it to
+#: rotate the sample.
+LATTICE_SAMPLE_SEED = 2019
+
+#: How many of the 32 lattice points the equivalence sweep runs.
+LATTICE_SAMPLE_SIZE = 10
+
+
+def _lattice_spec(mask: int) -> str:
+    members = [
+        name for bit, name in enumerate(_LATTICE_MITIGATIONS) if mask & (1 << bit)
+    ]
+    return "+".join(members) if members else "BASE"
+
+
+#: Deterministic sample of the full mitigation lattice (ISSUE: second
+#: fast-path wave widened equivalence coverage beyond the paper points).
+LATTICE_SPECS = sorted(
+    _lattice_spec(mask)
+    for mask in random.Random(LATTICE_SAMPLE_SEED).sample(range(32), LATTICE_SAMPLE_SIZE)
+)
 
 
 def _execute(request, monkeypatch, *, slow):
@@ -81,6 +117,35 @@ class TestWorkloadEquivalence:
             assert fast_run == slow_run
 
 
+class TestLatticeEquivalence:
+    """Fast == slow over a seeded sample of the full 2^5 lattice.
+
+    The paper points above pin the variants the figures use; this sweep
+    guards the *composition space* — any subset of the five mitigations
+    must survive the fast path bit-identically, not just the published
+    combinations.
+    """
+
+    @pytest.mark.parametrize("spec", LATTICE_SPECS)
+    def test_lattice_point_fast_equals_slow(self, spec, monkeypatch):
+        request = request_for(parse_variant(spec), "hmmer", SETTINGS)
+        fast_key, fast_run = _execute(request, monkeypatch, slow=False)
+        slow_key, slow_run = _execute(request, monkeypatch, slow=True)
+        assert fast_key == slow_key
+        assert fast_run == slow_run
+
+    def test_sample_is_stable(self):
+        # The sample doubles as the CI slow-path spot-check's workload;
+        # collection must be deterministic across processes and runs.
+        assert len(LATTICE_SPECS) == LATTICE_SAMPLE_SIZE
+        assert LATTICE_SPECS == sorted(
+            _lattice_spec(mask)
+            for mask in random.Random(LATTICE_SAMPLE_SEED).sample(
+                range(32), LATTICE_SAMPLE_SIZE
+            )
+        )
+
+
 class TestScenarioEquivalence:
     def test_prime_probe_outcome_identical(self, monkeypatch):
         config = config_for_variant(Variant.BASE)
@@ -88,4 +153,41 @@ class TestScenarioEquivalence:
         fast = run_scenario("prime_probe", config, 2019, num_cores=2).to_dict()
         monkeypatch.setenv(SLOW_PATH_ENV_VAR, "1")
         slow = run_scenario("prime_probe", config, 2019, num_cores=2).to_dict()
+        assert fast == slow
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_detailed_llc_scenarios_identical(self, name, monkeypatch):
+        # The co-scheduled scenarios drive the detailed LLC arbiter,
+        # whose event-batched loop skips quiescent cycles on the fast
+        # path; outcomes (leakage, cycles, details) must not notice.
+        config = config_for_variant(Variant.F_P_M_A)
+        monkeypatch.delenv(SLOW_PATH_ENV_VAR, raising=False)
+        fast = run_scenario(name, config, 2019).to_dict()
+        monkeypatch.setenv(SLOW_PATH_ENV_VAR, "1")
+        slow = run_scenario(name, config, 2019).to_dict()
+        assert fast == slow
+
+
+class TestServeEquivalence:
+    def test_service_outcome_identical(self, monkeypatch):
+        # Field-for-field through ServiceOutcome.to_dict(): latencies,
+        # per-tenant stats, purge counts, and the embedded kernel cycle
+        # resolution all ride on the fast path.
+        request = ServiceRunRequest(
+            policy="fifo",
+            config=evaluation_config(parse_variant("F+P+M+A"), 1_000),
+            seed=2019,
+            num_cores=2,
+            num_tenants=4,
+            num_requests=40,
+            instructions=1_000,
+        )
+        monkeypatch.delenv(SLOW_PATH_ENV_VAR, raising=False)
+        fast_key = request.cache_key()
+        fast = execute_service_request(request).to_dict()
+        monkeypatch.setenv(SLOW_PATH_ENV_VAR, "1")
+        slow_key = request.cache_key()
+        slow = execute_service_request(request).to_dict()
+        monkeypatch.delenv(SLOW_PATH_ENV_VAR, raising=False)
+        assert fast_key == slow_key
         assert fast == slow

@@ -2,6 +2,7 @@
 
 import json
 from datetime import date
+from pathlib import Path
 
 import pytest
 
@@ -10,12 +11,14 @@ from repro.api.requests import WorkloadRequest
 from repro.cli import main
 from repro.perf import (
     BENCH_SCHEMA_VERSION,
+    COMMIT_RECORD_NAME,
     BenchRecorder,
     PINNED_SEED,
     PINNED_SERVICE_CASE,
     PINNED_SUITE,
     ProfileReport,
     Profiler,
+    commit_record_path,
     compare_to_baseline,
     load_bench,
     pinned_service_request,
@@ -108,6 +111,24 @@ class TestServiceCase:
         assert measurement.requests_per_second > 0.0
         assert measurement.outcome.charged_purge_cycles > 0
         assert measurement.cache_key == pinned_service_request().cache_key()
+
+    def test_components_cover_the_serving_layer(self):
+        measurement = run_service_case(components=True)
+        shares = measurement.component_shares
+        assert shares, "components=True must produce time shares"
+        # The event loop's own packages must be visible, not just the
+        # kernel packages it leans on for cycle resolution.
+        assert "service" in shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # The shares travel into the BENCH record's service section.
+        result = run_suite(instructions=TINY, cases=(("BASE", "hmmer"),))
+        record = BenchRecorder().build_record(
+            result, calibration=10.0, sha="svc", service=measurement
+        )
+        assert record["service"]["component_shares"] == shares
+
+    def test_components_default_off(self):
+        assert run_service_case().component_shares == {}
 
     def test_record_carries_and_gates_service(self, tmp_path):
         recorder = BenchRecorder(tmp_path)
@@ -253,6 +274,60 @@ class TestCli:
         assert document["aggregate"]["instructions_per_second"] > 0.0
         assert (tmp_path / f"BENCH_{date.today().isoformat()}.json").exists()
         assert document["record_path"].endswith(".json")
+
+    def test_perf_record_flag_writes_commit_friendly_record(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # --record writes a second, stable-name copy at the repo root
+        # (tmp_path is no git checkout, so the root resolves to cwd).
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "perf",
+                "--instructions",
+                str(TINY),
+                "--no-service",
+                "--output-dir",
+                str(tmp_path / "artifacts"),
+                "--record",
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        commit_path = Path(document["commit_record_path"])
+        assert commit_path.name == COMMIT_RECORD_NAME
+        assert commit_path == commit_record_path(tmp_path)
+        # The dated artifact and the stable-name copy are one document.
+        assert load_bench(commit_path) == load_bench(document["record_path"])
+
+    def test_perf_gate_failure_prints_per_case_deltas(self, tmp_path, capsys):
+        recorder = BenchRecorder(tmp_path)
+        result = run_suite(instructions=TINY)
+        record = recorder.build_record(result, calibration=10.0, sha="baseline")
+        record["aggregate"]["normalized_throughput"] *= 1_000.0
+        for run in record["runs"]:
+            run["instructions_per_second"] *= 1_000.0
+        baseline = tmp_path / "BENCH_inflated.json"
+        baseline.write_text(json.dumps(record))
+        code = main(
+            [
+                "perf",
+                "--instructions",
+                str(TINY),
+                "--no-record",
+                "--no-service",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "perf gate FAILED" in captured.err
+        # Every pinned case is named with its own normalized delta.
+        for spec, benchmark in PINNED_SUITE:
+            assert f"{spec}/{benchmark}" in captured.err
+        assert "aggregate" in captured.err
 
     def test_perf_gate_fails_on_regression(self, tmp_path, capsys):
         # A baseline claiming implausibly high normalized throughput must
