@@ -79,6 +79,21 @@ NONSPEC_INSTRUCTIONS_FRACTION = 0.5
 #: Floor on the scaled timer-trap interval (see EXPERIMENTS.md).
 MIN_TRAP_INTERVAL = 5_000
 
+#: Spec/request fields deliberately excluded from content-hash cache
+#: keys.  The ``cache-key`` lint rule (``repro lint``) verifies every
+#: other field reaches its digest, and that each entry here carries a
+#: justification and still names a real field.
+CACHE_KEY_EXCLUSIONS = {
+    "ServiceRunRequest": {
+        "service_cycles": (
+            "derived state: the benchmark->cycles table is resolved "
+            "deterministically from (config, instructions, seed) through "
+            "the run layer, so hashing it would only duplicate "
+            "information the key already covers"
+        ),
+    },
+}
+
 
 @dataclass(frozen=True)
 class EvaluationSettings:
@@ -88,10 +103,14 @@ class EvaluationSettings:
     seed: int = DEFAULT_SEED
 
     @classmethod
-    def from_environment(cls) -> "EvaluationSettings":
+    def from_environment(cls) -> EvaluationSettings:
         """Settings honouring ``REPRO_BENCH_INSTRUCTIONS``/``REPRO_BENCH_SEED``."""
+        # repro: allow[determinism]: configuration boundary — the values land in explicit
+        # EvaluationSettings fields, and both are hashed into every cache key they shape
+        # (instructions/seed are RunRequest fields), so a changed environment changes the
+        # key rather than silently diverging a cached result from it.
         instructions = int(os.environ.get(INSTRUCTIONS_ENV_VAR, DEFAULT_INSTRUCTIONS))
-        seed = int(os.environ.get(SEED_ENV_VAR, DEFAULT_SEED))
+        seed = int(os.environ.get(SEED_ENV_VAR, DEFAULT_SEED))  # repro: allow[determinism]: same boundary.
         return cls(instructions=instructions, seed=seed)
 
     def to_dict(self) -> Dict[str, int]:
@@ -99,13 +118,15 @@ class EvaluationSettings:
         return {"instructions": self.instructions, "seed": self.seed}
 
     @classmethod
-    def from_dict(cls, data: Dict[str, int]) -> "EvaluationSettings":
+    def from_dict(cls, data: Dict[str, int]) -> EvaluationSettings:
         """Rebuild settings from :meth:`to_dict` output."""
         return cls(instructions=data["instructions"], seed=data["seed"])
 
 
 def default_jobs() -> int:
     """Sweep parallelism honouring ``REPRO_BENCH_JOBS`` (default 1)."""
+    # repro: allow[determinism]: parallelism only — sweeps are bit-identical across jobs
+    # settings (the serial==parallel equivalence tests), so the value cannot touch results.
     return max(1, int(os.environ.get(JOBS_ENV_VAR, "1")))
 
 
@@ -171,7 +192,7 @@ class RunRequest:
         }
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "RunRequest":
+    def from_payload(cls, payload: Dict[str, Any]) -> RunRequest:
         """Rebuild a request from :meth:`to_payload` output."""
         return cls(
             config=config_from_dict(payload["config"]),
@@ -254,7 +275,7 @@ class ScenarioRequest:
         }
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "ScenarioRequest":
+    def from_payload(cls, payload: Dict[str, Any]) -> ScenarioRequest:
         """Rebuild a request from :meth:`to_payload` output."""
         return cls(
             scenario=payload["scenario"],
@@ -298,7 +319,7 @@ class ScenarioSpec:
         variants: Optional[Sequence[VariantLike]] = None,
         seeds: Optional[Sequence[int]] = None,
         num_cores: int = 2,
-    ) -> "ScenarioSpec":
+    ) -> ScenarioSpec:
         """Spec with security-evaluation defaults for anything omitted.
 
         Defaults (for ``None`` arguments): every registered scenario,
@@ -451,7 +472,7 @@ class ServiceRunRequest:
         }
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "ServiceRunRequest":
+    def from_payload(cls, payload: Dict[str, Any]) -> ServiceRunRequest:
         """Rebuild a request from :meth:`to_payload` output."""
         cycles = payload.get("service_cycles")
         return cls(
@@ -547,7 +568,7 @@ class ServiceSpec:
         num_requests: int = DEFAULT_SERVICE_REQUESTS,
         instructions: int = DEFAULT_SERVICE_INSTRUCTIONS,
         churn_every: int = 0,
-    ) -> "ServiceSpec":
+    ) -> ServiceSpec:
         """Spec with serving defaults for anything omitted.
 
         Defaults (for ``None`` arguments): all three shipped policies,
@@ -660,7 +681,7 @@ class ExperimentSpec:
         benchmarks: Optional[Sequence[str]] = None,
         seeds: Optional[Sequence[int]] = None,
         instructions: Optional[int] = None,
-    ) -> "ExperimentSpec":
+    ) -> ExperimentSpec:
         """Spec with paper defaults for anything omitted.
 
         Defaults (for ``None`` arguments): all seven variants, all

@@ -58,12 +58,12 @@ class ResultStore:
         self.misses = 0
 
     @classmethod
-    def in_memory(cls) -> "ResultStore":
+    def in_memory(cls) -> ResultStore:
         """Store with no disk layer (tests, throwaway sweeps)."""
         return cls(directory=None)
 
     @classmethod
-    def from_environment(cls) -> "ResultStore":
+    def from_environment(cls) -> ResultStore:
         """Store honouring ``REPRO_CACHE`` and ``REPRO_CACHE_DIR``."""
         mode = os.environ.get(CACHE_MODE_ENV_VAR, "").strip().lower()
         if mode in ("off", "0", "no", "disabled"):

@@ -110,7 +110,7 @@ class ScenarioOutcome:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioOutcome":
+    def from_dict(cls, data: Dict[str, Any]) -> ScenarioOutcome:
         """Rebuild an outcome from :meth:`to_dict` output."""
         return cls(
             scenario=data["scenario"],
@@ -246,7 +246,7 @@ def run_prime_probe(
     cycles = 0
     last_observed: List[int] = []
     monitored_count = 4
-    for trial in range(trials):
+    for _trial in range(trials):
         machine = build_scenario_machine(config, seed=seed, placement=placement)
         executor = CoScheduledExecutor(machine)
         llc = machine.llc
@@ -339,7 +339,7 @@ def run_spectre(
     cycles = 0
     emitted_last = False
     recovered_last: int | None = None
-    for trial in range(trials):
+    for _trial in range(trials):
         machine = build_scenario_machine(config, seed=seed, placement=placement)
         executor = CoScheduledExecutor(machine)
         secret = rng.integer(0, 15)
@@ -559,7 +559,7 @@ def run_branch_residue(
     training_iterations = 64
     leaked = 0
     purge_stalls = 0
-    for trial in range(trials):
+    for _trial in range(trials):
         observations = {}
         for secret_bit in (False, True):
             machine = build_scenario_machine(config, seed=seed, placement=placement)

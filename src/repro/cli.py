@@ -53,6 +53,7 @@ from repro.attacks.scenarios import scenario_names
 from repro.common.errors import ConfigurationError
 from repro.core.mitigations import known_compositions, known_mitigations
 from repro.core.variants import parse_variant
+from repro.lint import add_lint_arguments, command_lint
 from repro.service import (
     DEFAULT_SERVICE_CORES,
     DEFAULT_SERVICE_INSTRUCTIONS,
@@ -899,6 +900,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the BENCH record (and baseline diff) as JSON",
     )
     perf.set_defaults(handler=_command_perf)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="check the repo-specific invariants (determinism, fast/slow "
+        "parity, cache-key completeness, registry hygiene)",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=command_lint)
 
     listing = subparsers.add_parser(
         "list", help="list figures, mitigations, benchmarks, scenarios"

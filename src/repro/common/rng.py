@@ -55,7 +55,7 @@ class DeterministicRng:
         """Seed this generator was created with."""
         return self._seed
 
-    def fork(self, *components: int | str) -> "DeterministicRng":
+    def fork(self, *components: int | str) -> DeterministicRng:
         """Create an independent child generator.
 
         Child streams are derived from the parent's *seed*, not its

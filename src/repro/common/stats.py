@@ -115,7 +115,7 @@ class StatsRegistry:
         for histogram in self._histograms.values():
             histogram.reset()
 
-    def merged_with(self, other: "StatsRegistry") -> "StatsRegistry":
+    def merged_with(self, other: StatsRegistry) -> StatsRegistry:
         """Return a new registry whose counters are the sum of both inputs."""
         merged = StatsRegistry()
         for name, value in self.counters().items():

@@ -169,7 +169,7 @@ class MitigationSet:
             object.__setattr__(self, "mitigations", canonical)
 
     @classmethod
-    def of(cls, *names: str) -> "MitigationSet":
+    def of(cls, *names: str) -> MitigationSet:
         """Set containing the given mitigations (names or aliases)."""
         return cls(_canonical_members(names))
 

@@ -56,7 +56,7 @@ class WorkloadRun:
         """Total execution time in cycles."""
         return self.result.cycles
 
-    def overhead_vs(self, baseline: "WorkloadRun") -> float:
+    def overhead_vs(self, baseline: WorkloadRun) -> float:
         """Increased runtime relative to ``baseline``, as a percentage."""
         if baseline.cycles == 0:
             return 0.0

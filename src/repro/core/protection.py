@@ -121,7 +121,7 @@ class ProtectionDomain:
     is_enclave: bool = False
     is_monitor: bool = False
 
-    def overlaps(self, other: "ProtectionDomain") -> bool:
+    def overlaps(self, other: ProtectionDomain) -> bool:
         """True if the two domains share any DRAM region or core."""
         return bool(self.regions & other.regions) or bool(self.cores & other.cores)
 

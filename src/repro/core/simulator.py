@@ -65,7 +65,7 @@ class Simulator:
         base: Optional[MI6Config] = None,
         *,
         seed: int = DEFAULT_SEED,
-    ) -> "Simulator":
+    ) -> Simulator:
         """Simulator for one of the Section 7 evaluation variants."""
         return cls(config_for_variant(variant, base), seed=seed)
 

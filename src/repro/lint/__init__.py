@@ -1,0 +1,62 @@
+"""``repro.lint``: AST-based invariant linter for this repository.
+
+The reproduction's guarantees — bit-identical numbers from deterministic
+simulations, a fast kernel with a living slow-path oracle, content-hash
+cache keys that cover every input — are invariants no off-the-shelf tool
+checks.  This package checks them statically, as a rule registry over a
+shared parse pass (:mod:`repro.lint.engine`):
+
+* ``determinism`` — no ``random``/``time``/env reads/RNG internals or
+  unordered iteration in simulation code (:mod:`repro.lint.determinism`);
+* ``fastpath-parity`` — every fast lane keeps a reachable
+  ``REPRO_SLOW_PATH`` reference twin with covering counters
+  (:mod:`repro.lint.parity`);
+* ``cache-key`` — every spec/request field reaches its content-hash
+  digest or is excluded with a justification
+  (:mod:`repro.lint.cache_keys`);
+* ``registry-hygiene`` — registrations happen at import time in their
+  owning module (:mod:`repro.lint.registries`).
+
+Run it as ``repro lint src`` (or ``repro-bench lint``); sanctioned
+exceptions are ``# repro: allow[rule]: reason`` annotations or a
+committed ``lint-baseline.json``.  EXPERIMENTS.md documents the catalog.
+"""
+
+from __future__ import annotations
+
+# Importing the rule modules registers the rules; keep the imports
+# unconditional so every entry point sees the same registry.
+import repro.lint.cache_keys  # noqa: F401
+import repro.lint.determinism  # noqa: F401
+import repro.lint.parity  # noqa: F401
+import repro.lint.registries  # noqa: F401
+from repro.lint.cli import add_lint_arguments, command_lint
+from repro.lint.engine import (
+    LintContext,
+    LintReport,
+    Rule,
+    SourceModule,
+    build_context,
+    register_rule,
+    rule_descriptions,
+    rule_names,
+    run_rules,
+)
+from repro.lint.findings import Finding, load_baseline, write_baseline
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "SourceModule",
+    "add_lint_arguments",
+    "build_context",
+    "command_lint",
+    "load_baseline",
+    "register_rule",
+    "rule_descriptions",
+    "rule_names",
+    "run_rules",
+    "write_baseline",
+]

@@ -1,0 +1,267 @@
+"""Cache-key completeness rule: every spec field reaches its digest.
+
+The result store trusts that two runs sharing a cache key would execute
+the identical simulation.  That breaks the moment a new field lands on a
+request or spec dataclass without being folded into the corresponding
+``*_cache_key`` digest — cached results silently stop matching what a
+cold run would produce.  This rule closes the gap structurally:
+
+* every parameter of a ``*_cache_key`` function must be *read* inside
+  its body (deleting the ``"load_profile": load_profile`` line from
+  ``service_cache_key`` is a finding);
+* every field of a dataclass that defines a ``cache_key`` method must be
+  consumed (``self.<field>``) inside that method;
+* every field of a ``*Spec`` dataclass must be consumed by its
+  ``requests()`` expansion, which is where spec fields become request
+  fields and therefore digest inputs.
+
+Deliberate exclusions (derived state like ``ServiceRunRequest.service_cycles``)
+are declared in a module-level ``CACHE_KEY_EXCLUSIONS`` table mapping
+``owner -> {field: justification}``; empty justifications and stale
+entries are themselves findings, so the table stays honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import LintContext, Rule, SourceModule, register_rule
+from repro.lint.findings import Finding
+
+#: Name of the module-level exclusion table this rule consumes.
+EXCLUSION_TABLE = "CACHE_KEY_EXCLUSIONS"
+
+#: Function-name suffix marking a digest builder.
+_KEY_SUFFIX = "_cache_key"
+
+#: Parameters of digest builders that are plumbing, not content.
+_IGNORED_PARAMS = frozenset({"self", "cls"})
+
+
+def _parse_exclusions(
+    module: SourceModule,
+) -> Tuple[Optional[Dict[str, Dict[str, str]]], Optional[ast.stmt]]:
+    """The module's ``CACHE_KEY_EXCLUSIONS`` literal, if present.
+
+    Returns ``(table, node)``; the table is ``None`` when the assignment
+    exists but is not a literal owner -> {field: justification} dict.
+    """
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == EXCLUSION_TABLE
+        ):
+            try:
+                value = ast.literal_eval(node.value)
+            except ValueError:
+                return None, node
+            if isinstance(value, dict) and all(
+                isinstance(owner, str) and isinstance(fields, dict)
+                for owner, fields in value.items()
+            ):
+                return {
+                    owner: {str(name): str(why) for name, why in fields.items()}
+                    for owner, fields in value.items()
+                }, node
+            return None, node
+    return {}, None
+
+
+def _read_names(body: List[ast.stmt]) -> Set[str]:
+    names: Set[str] = set()
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                names.add(node.id)
+    return names
+
+
+def _self_attribute_reads(function: ast.FunctionDef) -> Set[str]:
+    reads: Set[str] = set()
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            reads.add(node.attr)
+    return reads
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+    fields: List[Tuple[str, ast.AnnAssign]] = []
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            annotation = ast.unparse(statement.annotation)
+            if "ClassVar" in annotation:
+                continue
+            name = statement.target.id
+            if name.startswith("_"):
+                continue
+            fields.append((name, statement))
+    return fields
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+class CacheKeyRule(Rule):
+    name = "cache-key"
+    description = (
+        "spec/request dataclass fields and *_cache_key parameters must all "
+        "reach the digest (or sit in CACHE_KEY_EXCLUSIONS with a reason)"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for module in context.modules:
+            parsed, table_node = _parse_exclusions(module)
+            if parsed is None and table_node is not None:
+                yield self.finding(
+                    module,
+                    table_node,
+                    f"{EXCLUSION_TABLE} must be a literal dict of "
+                    "owner -> {field: justification}",
+                )
+            exclusions = parsed or {}
+            used_entries: Set[Tuple[str, str]] = set()
+            known_owners: Set[str] = set()
+
+            for node in module.tree.body:
+                if isinstance(node, ast.FunctionDef) and node.name.endswith(
+                    _KEY_SUFFIX
+                ):
+                    known_owners.add(node.name)
+                    yield from self._check_key_function(
+                        module, node, exclusions, used_entries
+                    )
+                elif isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                    yield from self._check_dataclass(
+                        module, node, exclusions, used_entries, known_owners
+                    )
+
+            if table_node is not None and parsed is not None:
+                yield from self._check_table(
+                    module, table_node, exclusions, used_entries, known_owners
+                )
+
+    # ------------------------------------------------------------------
+
+    def _check_key_function(
+        self,
+        module: SourceModule,
+        function: ast.FunctionDef,
+        exclusions: Dict[str, Dict[str, str]],
+        used_entries: Set[Tuple[str, str]],
+    ) -> Iterator[Finding]:
+        parameters = [
+            argument.arg
+            for argument in (
+                function.args.posonlyargs
+                + function.args.args
+                + function.args.kwonlyargs
+            )
+            if argument.arg not in _IGNORED_PARAMS
+        ]
+        reads = _read_names(function.body)
+        excluded = exclusions.get(function.name, {})
+        for parameter in parameters:
+            if parameter in excluded:
+                used_entries.add((function.name, parameter))
+                continue
+            if parameter not in reads:
+                yield self.finding(
+                    module,
+                    function,
+                    f"{function.name}() parameter {parameter!r} never reaches "
+                    "the digest: every key input must be hashed or excluded "
+                    f"in {EXCLUSION_TABLE} with a justification",
+                )
+
+    def _check_dataclass(
+        self,
+        module: SourceModule,
+        node: ast.ClassDef,
+        exclusions: Dict[str, Dict[str, str]],
+        used_entries: Set[Tuple[str, str]],
+        known_owners: Set[str],
+    ) -> Iterator[Finding]:
+        consumer: Optional[ast.FunctionDef] = _method(node, "cache_key")
+        consumer_label = "cache_key()"
+        if consumer is None and node.name.endswith("Spec"):
+            consumer = _method(node, "requests")
+            consumer_label = "requests()"
+        if consumer is None:
+            return
+        known_owners.add(node.name)
+        consumed = _self_attribute_reads(consumer)
+        excluded = exclusions.get(node.name, {})
+        for field_name, field_node in _dataclass_fields(node):
+            if field_name in excluded:
+                used_entries.add((node.name, field_name))
+                continue
+            if field_name not in consumed:
+                yield self.finding(
+                    module,
+                    field_node,
+                    f"{node.name}.{field_name} is not consumed by "
+                    f"{consumer_label}: a field that can change the outcome "
+                    "must reach the cache key, or be excluded in "
+                    f"{EXCLUSION_TABLE} with a justification",
+                )
+
+    def _check_table(
+        self,
+        module: SourceModule,
+        table_node: ast.stmt,
+        exclusions: Dict[str, Dict[str, str]],
+        used_entries: Set[Tuple[str, str]],
+        known_owners: Set[str],
+    ) -> Iterator[Finding]:
+        for owner, fields in exclusions.items():
+            if owner not in known_owners:
+                yield self.finding(
+                    module,
+                    table_node,
+                    f"{EXCLUSION_TABLE} names unknown owner {owner!r}: stale "
+                    "entries hide future gaps; delete or fix the name",
+                )
+                continue
+            for field_name, justification in fields.items():
+                if not justification.strip():
+                    yield self.finding(
+                        module,
+                        table_node,
+                        f"{EXCLUSION_TABLE}[{owner!r}][{field_name!r}] has an "
+                        "empty justification: say why the field cannot "
+                        "change the outcome",
+                    )
+                if (owner, field_name) not in used_entries:
+                    yield self.finding(
+                        module,
+                        table_node,
+                        f"{EXCLUSION_TABLE}[{owner!r}] excludes {field_name!r} "
+                        "which is not a field/parameter of that owner: stale "
+                        "entries hide future gaps; delete it",
+                    )
+
+
+register_rule(CacheKeyRule())

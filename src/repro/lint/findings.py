@@ -1,0 +1,98 @@
+"""Finding records, fingerprints, and the committed-baseline format.
+
+A finding is one rule violation at one source location.  Its
+*fingerprint* deliberately excludes the line number, so a committed
+baseline (see :func:`load_baseline`) keeps matching a legacy violation
+while unrelated edits move it around the file; any change to the
+violating code itself produces a new message and therefore a new
+fingerprint, surfacing the finding again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List
+
+#: Severity of a finding.  ``error`` findings gate the build; ``warning``
+#: findings are reported but never affect the exit status.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Version of the baseline-file format below.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Name of the rule that produced the finding.
+        path: Repo-relative posix path of the offending file.
+        line: 1-based source line.
+        column: 0-based source column.
+        message: Human-readable statement of the violation.
+        severity: ``error`` (gates the build) or ``warning``.
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def fingerprint(self) -> str:
+        """Stable identity of the finding (line-number independent)."""
+        payload = f"{self.rule}|{self.path}|{self.message}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible encoding (the ``--json`` output shape)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """One-line human-readable rendering (``path:line: ...``)."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule}: {self.message}"
+
+
+def load_baseline(path: Path) -> FrozenSet[str]:
+    """Fingerprints accepted by the committed baseline at ``path``."""
+    document = json.loads(path.read_text())
+    if document.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {document.get('version')!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = document.get("findings", [])
+    return frozenset(str(entry["fingerprint"]) for entry in entries)
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write ``findings`` as a baseline file accepting all of them."""
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "fingerprint": finding.fingerprint(),
+            }
+            for finding in sorted(
+                findings, key=lambda f: (f.path, f.rule, f.message)
+            )
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

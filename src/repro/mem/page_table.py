@@ -54,7 +54,7 @@ class PageTable:
         return ppn * self.page_bytes + (virtual_address % self.page_bytes)
 
     @classmethod
-    def identity(cls, size_bytes: int, page_bytes: int = 4096, asid: int = 0) -> "PageTable":
+    def identity(cls, size_bytes: int, page_bytes: int = 4096, asid: int = 0) -> PageTable:
         """Identity page table covering ``size_bytes`` of physical memory.
 
         The untrusted OS uses such a table (Section 6.2) so that it can

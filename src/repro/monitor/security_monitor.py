@@ -70,7 +70,7 @@ class _MemcopyBuffers:
 class SecurityMonitor:
     """Machine-mode security monitor mediating enclave lifecycle."""
 
-    def __init__(self, machine: "Machine", *, monitor_region: int = 0, platform_identity: str = "mi6-platform") -> None:
+    def __init__(self, machine: Machine, *, monitor_region: int = 0, platform_identity: str = "mi6-platform") -> None:
         self.machine = machine
         self.platform_identity = platform_identity
         # The monitor statically reserves its own protected address region

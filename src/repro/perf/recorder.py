@@ -264,7 +264,7 @@ class BenchRecorder:
 
 def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
     """Load a BENCH record, validating the format discriminator."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         record = json.load(handle)
     if record.get("kind") != BENCH_KIND:
         raise ValueError(f"{path} is not a {BENCH_KIND} record")

@@ -23,7 +23,14 @@ for cached, parallel sweeps, or :func:`repro.service.run_service` for a
 single standalone simulation.
 """
 
-from repro.service.arrivals import LOAD_PROFILES, Arrival, generate_arrivals
+from repro.service.arrivals import (
+    LOAD_PROFILES,
+    Arrival,
+    generate_arrivals,
+    profile_description,
+    profile_names,
+    register_arrival_profile,
+)
 from repro.service.metrics import percentile, summarize_latencies
 from repro.service.schedulers import (
     SchedulingPolicy,
@@ -56,6 +63,9 @@ __all__ = [
     "percentile",
     "policy_description",
     "policy_names",
+    "profile_description",
+    "profile_names",
+    "register_arrival_profile",
     "register_policy",
     "run_service",
     "summarize_latencies",

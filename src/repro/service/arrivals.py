@@ -18,19 +18,22 @@ about:
 
 All profiles are parameterised by the *mean* inter-arrival gap, so the
 offered load of a sweep point is comparable across profiles.
+
+Profiles are registered by name (:func:`register_arrival_profile`),
+mirroring the scheduler/mitigation/scenario registries: registration is
+an unconditional top-level statement of this module, so every process
+that imports the serving layer sees the identical profile set (the
+``registry-hygiene`` lint rule enforces this).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, Dict, List
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRng
-
-#: Registered load-profile names, in presentation order.
-LOAD_PROFILES = ("poisson", "bursty", "diurnal")
 
 #: Requests per burst of the ``bursty`` profile.
 BURST_LENGTH = 8
@@ -57,6 +60,44 @@ def _exponential_gap(rng: DeterministicRng, mean_gap: float) -> int:
     return max(1, int(round(draw)))
 
 
+# ----------------------------------------------------------------------
+# Registry
+
+#: ``(rng, num_requests, num_tenants, mean_gap_cycles) -> arrivals``.
+ArrivalGenerator = Callable[[DeterministicRng, int, int, int], List[Arrival]]
+
+_PROFILES: Dict[str, ArrivalGenerator] = {}
+_PROFILE_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_arrival_profile(
+    name: str, generator: ArrivalGenerator, description: str
+) -> None:
+    """Register an arrival profile under ``name``.
+
+    The generator must be a pure function of its arguments (all
+    randomness through the passed ``rng``), the determinism contract the
+    engine's content-hash cache keys rely on.
+    """
+    key = name.strip()
+    if not key:
+        raise ConfigurationError("arrival-profile name must be non-empty")
+    if key in _PROFILES:
+        raise ConfigurationError(f"arrival profile {name!r} already registered")
+    _PROFILES[key] = generator
+    _PROFILE_DESCRIPTIONS[key] = description
+
+
+def profile_names() -> List[str]:
+    """All registered profile names, in presentation order."""
+    return list(_PROFILES)
+
+
+def profile_description(name: str) -> str:
+    """One-line description of a registered profile."""
+    return _PROFILE_DESCRIPTIONS[name]
+
+
 def generate_arrivals(
     profile: str,
     *,
@@ -68,7 +109,8 @@ def generate_arrivals(
     """The full arrival sequence for one service simulation.
 
     Args:
-        profile: One of :data:`LOAD_PROFILES`.
+        profile: A registered profile name (:data:`LOAD_PROFILES` lists
+            the shipped set).
         num_requests: Open-loop requests to generate.
         num_tenants: Tenants the requests are spread across.
         mean_gap_cycles: Target mean inter-arrival gap (sets the offered
@@ -80,11 +122,13 @@ def generate_arrivals(
         Arrivals in non-decreasing time order (times are strictly
         spaced by at least one cycle).
     """
-    if profile not in LOAD_PROFILES:
+    try:
+        generator = _PROFILES[profile]
+    except KeyError:
         raise ConfigurationError(
             f"unknown load profile {profile!r} (expected one of: "
-            f"{', '.join(LOAD_PROFILES)})"
-        )
+            f"{', '.join(profile_names())})"
+        ) from None
     if num_requests < 1:
         raise ConfigurationError("num_requests must be positive")
     if num_tenants < 1:
@@ -92,43 +136,86 @@ def generate_arrivals(
     if mean_gap_cycles < 1:
         raise ConfigurationError("mean_gap_cycles must be positive")
     rng = DeterministicRng(seed).fork("service-arrivals", profile)
+    return generator(rng, num_requests, num_tenants, mean_gap_cycles)
+
+
+# ----------------------------------------------------------------------
+# Shipped profiles
+
+
+def _poisson(
+    rng: DeterministicRng, num_requests: int, num_tenants: int, mean_gap_cycles: int
+) -> List[Arrival]:
     arrivals: List[Arrival] = []
     time = 0
-    if profile == "poisson":
-        for _ in range(num_requests):
-            time += _exponential_gap(rng, float(mean_gap_cycles))
-            arrivals.append(Arrival(time, rng.integer(0, num_tenants - 1)))
-    elif profile == "bursty":
-        in_burst_gap = max(1, mean_gap_cycles // 4)
-        # The idle stretch before each burst restores the target mean:
-        # a burst of B requests must span B * mean_gap cycles in total.
-        burst_lead = max(1, BURST_LENGTH * mean_gap_cycles - (BURST_LENGTH - 1) * in_burst_gap)
-        burst_tenant = 0
-        for index in range(num_requests):
-            if index % BURST_LENGTH == 0:
-                time += burst_lead
-                burst_tenant = rng.integer(0, num_tenants - 1)
-            else:
-                time += in_burst_gap
-            if rng.chance(BURST_TENANT_BIAS):
-                tenant = burst_tenant
-            else:
-                tenant = rng.integer(0, num_tenants - 1)
-            arrivals.append(Arrival(time, tenant))
-    else:  # diurnal
-        rates = [
-            DIURNAL_TROUGH
-            + DIURNAL_SWING
-            * (1.0 - math.cos(2.0 * math.pi * index / num_requests))
-            / 2.0
-            for index in range(num_requests)
-        ]
-        # Normalise by E[1/rate], not E[rate]: the mean *gap* is the
-        # mean of the reciprocals, so without this the realised load
-        # would undershoot the nominal point by ~25% and diurnal rows
-        # would not be comparable with the other profiles.
-        normalizer = sum(1.0 / rate for rate in rates) / num_requests
-        for rate in rates:
-            time += _exponential_gap(rng, float(mean_gap_cycles) / (rate * normalizer))
-            arrivals.append(Arrival(time, rng.integer(0, num_tenants - 1)))
+    for _ in range(num_requests):
+        time += _exponential_gap(rng, float(mean_gap_cycles))
+        arrivals.append(Arrival(time, rng.integer(0, num_tenants - 1)))
     return arrivals
+
+
+def _bursty(
+    rng: DeterministicRng, num_requests: int, num_tenants: int, mean_gap_cycles: int
+) -> List[Arrival]:
+    arrivals: List[Arrival] = []
+    time = 0
+    in_burst_gap = max(1, mean_gap_cycles // 4)
+    # The idle stretch before each burst restores the target mean:
+    # a burst of B requests must span B * mean_gap cycles in total.
+    burst_lead = max(1, BURST_LENGTH * mean_gap_cycles - (BURST_LENGTH - 1) * in_burst_gap)
+    burst_tenant = 0
+    for index in range(num_requests):
+        if index % BURST_LENGTH == 0:
+            time += burst_lead
+            burst_tenant = rng.integer(0, num_tenants - 1)
+        else:
+            time += in_burst_gap
+        if rng.chance(BURST_TENANT_BIAS):
+            tenant = burst_tenant
+        else:
+            tenant = rng.integer(0, num_tenants - 1)
+        arrivals.append(Arrival(time, tenant))
+    return arrivals
+
+
+def _diurnal(
+    rng: DeterministicRng, num_requests: int, num_tenants: int, mean_gap_cycles: int
+) -> List[Arrival]:
+    arrivals: List[Arrival] = []
+    time = 0
+    rates = [
+        DIURNAL_TROUGH
+        + DIURNAL_SWING
+        * (1.0 - math.cos(2.0 * math.pi * index / num_requests))
+        / 2.0
+        for index in range(num_requests)
+    ]
+    # Normalise by E[1/rate], not E[rate]: the mean *gap* is the
+    # mean of the reciprocals, so without this the realised load
+    # would undershoot the nominal point by ~25% and diurnal rows
+    # would not be comparable with the other profiles.
+    normalizer = sum(1.0 / rate for rate in rates) / num_requests
+    for rate in rates:
+        time += _exponential_gap(rng, float(mean_gap_cycles) / (rate * normalizer))
+        arrivals.append(Arrival(time, rng.integer(0, num_tenants - 1)))
+    return arrivals
+
+
+register_arrival_profile(
+    "poisson",
+    _poisson,
+    "memoryless arrivals, tenants drawn uniformly (open-loop baseline)",
+)
+register_arrival_profile(
+    "bursty",
+    _bursty,
+    f"on/off bursts of {BURST_LENGTH} in which one tenant dominates each burst",
+)
+register_arrival_profile(
+    "diurnal",
+    _diurnal,
+    "slow sinusoidal rate swing across the run (a compressed day)",
+)
+
+#: Shipped load-profile names, in registration order.
+LOAD_PROFILES = tuple(_PROFILES)

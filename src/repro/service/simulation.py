@@ -164,7 +164,7 @@ class ServiceOutcome:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "ServiceOutcome":
+    def from_dict(cls, data: Dict[str, Any]) -> ServiceOutcome:
         """Rebuild an outcome from :meth:`to_dict` output."""
         return cls(
             policy=data["policy"],

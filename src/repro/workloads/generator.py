@@ -409,9 +409,12 @@ class SyntheticWorkload:
         if total <= 0.0:
             raise ValueError("total of weights must be greater than zero")
         hi = len(kinds) - 1
+        # repro: allow[determinism]: sanctioned RNG-internals tap — the fast stream binds
+        # the forked generators' own methods; draw-for-draw identical to the reference
+        # stream's helper calls (tests/test_fastpath.py enforces bit-identical output).
         mix_random = self._mix_rng._random.random
 
-        mem_rand = self._mem_rng._random
+        mem_rand = self._mem_rng._random  # repro: allow[determinism]: same sanctioned tap.
         mem_random = mem_rand.random
         mem_randbelow = getattr(mem_rand, "_randbelow", None)
         # CPython's _randbelow(n) draws getrandbits(n.bit_length()) until
@@ -419,18 +422,20 @@ class SyntheticWorkload:
         # getrandbits keeps the draw sequence bit-identical while skipping
         # a Python call per draw.  Non-CPython implementations fall back
         # to randrange (draw-identical to their randint).
+        # repro: allow[determinism]: same sanctioned tap.
         mem_getrandbits = mem_rand.getrandbits if mem_randbelow is not None else None
         if mem_randbelow is None:  # pragma: no cover - non-CPython fallback
             mem_randbelow = mem_rand.randrange
-        branch_rand = self._branch_rng._random
+        branch_rand = self._branch_rng._random  # repro: allow[determinism]: same sanctioned tap.
         branch_random = branch_rand.random
         branch_randbelow = getattr(branch_rand, "_randbelow", None)
         branch_getrandbits = (
+            # repro: allow[determinism]: same sanctioned tap.
             branch_rand.getrandbits if branch_randbelow is not None else None
         )
         if branch_randbelow is None:  # pragma: no cover - non-CPython fallback
             branch_randbelow = branch_rand.randrange
-        dep_random = self._dep_rng._random.random
+        dep_random = self._dep_rng._random.random  # repro: allow[determinism]: same sanctioned tap.
 
         # Hot constants.
         generic_dep = self.GENERIC_DEPENDENCY_PROBABILITY

@@ -1,0 +1,46 @@
+"""Bad fixture: digest gaps in a key function and a request dataclass."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+CACHE_KEY_EXCLUSIONS = {
+    "service_cache_key": {
+        "seed": "",
+    },
+    "GhostRequest": {
+        "payload": "stale: no such owner ships a cache_key here",
+    },
+}
+
+
+def service_cache_key(policy, config, seed, *, load, load_profile):
+    payload = {
+        "policy": policy,
+        "config": config,
+        "load": load,
+    }
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    benchmark: str
+    instructions: int
+    seed: int
+
+    def cache_key(self):
+        payload = {
+            "benchmark": self.benchmark,
+            "instructions": self.instructions,
+        }
+        return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    variants: tuple
+    instructions: int
+
+    def requests(self):
+        return [RunRequest(name, 1000, 7) for name in self.variants]

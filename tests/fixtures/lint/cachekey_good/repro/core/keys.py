@@ -1,0 +1,49 @@
+"""Good fixture: every field reaches its digest or sits in the table."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+CACHE_KEY_EXCLUSIONS = {
+    "RunRequest": {
+        "service_cycles": "derived deterministically from the other fields",
+    },
+}
+
+
+def service_cache_key(policy, config, seed, *, load, load_profile):
+    payload = {
+        "policy": policy,
+        "config": config,
+        "seed": seed,
+        "load": load,
+        "load_profile": load_profile,
+    }
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    benchmark: str
+    instructions: int
+    seed: int
+    service_cycles: dict
+
+    def cache_key(self):
+        payload = {
+            "benchmark": self.benchmark,
+            "instructions": self.instructions,
+            "seed": self.seed,
+        }
+        return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    variants: tuple
+    instructions: int
+
+    def requests(self):
+        return [
+            RunRequest(name, self.instructions, 7, {}) for name in self.variants
+        ]

@@ -1,0 +1,29 @@
+"""Bad fixture: every determinism violation the rule knows about."""
+
+import os
+import random
+import time
+
+
+def draw(policy):
+    tap = policy._rng._random
+    return tap.getrandbits(4) + random.random() + time.time()
+
+
+def walk(ways):
+    total = 0
+    for way in {1, 2, 3}:
+        total += way
+    ordered = [value for value in set(ways)]
+    return total, ordered
+
+
+def track(table, block):
+    table[id(block)] = True
+    seen = set()
+    seen.add(id(block))
+    return {id(block): block}
+
+
+def configure():
+    return os.environ.get("REPRO_FIXTURE", "0")

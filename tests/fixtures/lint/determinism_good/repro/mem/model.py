@@ -1,0 +1,21 @@
+"""Good fixture: deterministic idiom for everything the bad twin breaks."""
+
+from repro.common.rng import DeterministicRng
+
+
+def draw(seed):
+    rng = DeterministicRng(seed).fork("fixture")
+    return rng.integer(0, 15)
+
+
+def walk(ways):
+    total = 0
+    for way in sorted({1, 2, 3}):
+        total += way
+    ordered = [value for value in sorted(set(ways))]
+    return total, ordered
+
+
+def track(table, block):
+    table[block.tag] = True
+    return {block.tag: block}

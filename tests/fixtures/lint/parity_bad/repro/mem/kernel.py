@@ -1,0 +1,28 @@
+"""Bad fixture: orphan fast lane, unreachable twin, counter superset."""
+
+from repro.common.fastpath import slow_path_enabled
+
+
+class Kernel:
+    def step(self, stats):
+        if slow_path_enabled():
+            return self._step_reference(stats)
+        return self._step_fast(stats)
+
+    def _step_reference(self, stats):
+        stats.counter("kernel.step").increment()
+
+    def _step_fast(self, stats):
+        stats.counter("kernel.step").increment()
+        stats.counter("kernel.bonus").increment()
+
+    def _orphan_fast(self, stats):
+        stats.counter("kernel.orphan").increment()
+
+
+class Sleeper:
+    def _drain_fast(self, stats):
+        stats.counter("sleeper.drain").increment()
+
+    def _drain_reference(self, stats):
+        stats.counter("sleeper.drain").increment()

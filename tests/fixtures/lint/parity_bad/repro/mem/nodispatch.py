@@ -1,0 +1,7 @@
+"""Bad fixture: imports the fastpath module but never dispatches on it."""
+
+import repro.common.fastpath  # noqa: F401
+
+
+def run(stats):
+    stats.counter("nodispatch.run").increment()

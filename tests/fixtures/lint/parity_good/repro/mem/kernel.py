@@ -1,0 +1,24 @@
+"""Good fixture: every fast lane keeps a reachable, counter-covering twin."""
+
+from repro.common.fastpath import slow_path_enabled
+
+
+class Kernel:
+    def step(self, stats, index):
+        if slow_path_enabled():
+            return self._step_reference(stats, index)
+        return self._step_fast(stats, index)
+
+    def _step_reference(self, stats, index):
+        stats.counter("kernel.step").increment()
+        stats.counter(f"kernel.core{index}.step").increment()
+
+    def _step_fast(self, stats, index):
+        stats.counter("kernel.step").increment()
+        stats.counter(f"kernel.core{index}.step").increment()
+
+    def access(self, stats):
+        stats.counter("kernel.access").increment()
+
+    def _access_slab(self, stats):
+        stats.counter("kernel.access").increment()

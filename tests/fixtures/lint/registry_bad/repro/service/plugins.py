@@ -1,0 +1,10 @@
+"""Bad fixture: registration from outside the registry's owning module."""
+
+from repro.service.schedulers import register_policy
+
+
+class RoguePolicy:
+    pass
+
+
+register_policy("rogue", RoguePolicy, "registered from the wrong module")

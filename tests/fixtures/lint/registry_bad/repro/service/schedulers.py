@@ -1,0 +1,19 @@
+"""Bad fixture: conditional registration inside the owning module."""
+
+_POLICIES = {}
+
+
+def register_policy(name, factory, description):
+    _POLICIES[name] = (factory, description)
+
+
+class FifoPolicy:
+    pass
+
+
+if True:
+    register_policy("fifo", FifoPolicy, "registered behind a conditional")
+
+
+def _late():
+    register_policy("lazy", FifoPolicy, "registered lazily")

@@ -1,0 +1,15 @@
+"""Good fixture: unconditional top-level registration in the owner."""
+
+_POLICIES = {}
+
+
+def register_policy(name, factory, description):
+    _POLICIES[name] = (factory, description)
+
+
+class FifoPolicy:
+    pass
+
+
+register_policy("fifo", FifoPolicy, "strict arrival order")
+FALLBACK = register_policy("fallback", FifoPolicy, "bound registration")
