@@ -37,11 +37,30 @@ from repro.core.processor import WorkloadRun
 from repro.core.serialization import (
     config_from_dict,
     config_to_dict,
+    fleet_cache_key,
+    fleet_shard_cache_key,
     run_cache_key,
     run_from_dict,
     run_to_dict,
     scenario_cache_key,
     service_cache_key,
+)
+from repro.fleet.admission import admission_names
+from repro.fleet.clients import client_model_names
+from repro.fleet.routing import TenantLoad, assign_tenants, router_names
+from repro.fleet.simulation import (
+    DEFAULT_FLEET_SHARDS,
+    DEFAULT_MEASUREMENT_CYCLES_PER_PAGE,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SLO_FACTOR,
+    DEFAULT_THINK_FACTOR,
+    DEFAULT_WIPE_BYTES_PER_CYCLE,
+    FleetOutcome,
+    ShardOutcome,
+    empty_shard_outcome,
+    estimate_boundary_cycles,
+    merge_shard_outcomes,
+    run_fleet_shard,
 )
 from repro.service.arrivals import LOAD_PROFILES
 from repro.service.schedulers import policy_names
@@ -90,6 +109,20 @@ CACHE_KEY_EXCLUSIONS = {
             "deterministically from (config, instructions, seed) through "
             "the run layer, so hashing it would only duplicate "
             "information the key already covers"
+        ),
+    },
+    "FleetRunRequest": {
+        "service_cycles": (
+            "derived state: resolved deterministically from (config, "
+            "instructions, seed) through the run layer, exactly as for "
+            "ServiceRunRequest"
+        ),
+    },
+    "FleetShardRequest": {
+        "service_cycles": (
+            "derived state: the shard's benchmark->cycles table is a "
+            "deterministic restriction of the fleet's, itself derived "
+            "from (config, instructions, seed) through the run layer"
         ),
     },
 }
@@ -654,6 +687,627 @@ class ServiceSpec:
 
 
 # ----------------------------------------------------------------------
+# Fleet serving
+
+#: Store document kind under which merged fleet outcomes persist.
+FLEET_STORE_KIND = "fleet"
+
+#: Store document kind under which per-shard outcomes persist.
+FLEET_SHARD_STORE_KIND = "fleet-shard"
+
+#: Default scheduling policy of a fleet sweep (lazy release keeps the
+#: per-shard purge traffic representative of a tuned deployment).
+DEFAULT_FLEET_POLICY = "affinity"
+#: Default routing policy of a fleet sweep.
+DEFAULT_FLEET_ROUTER = "consistent_hash"
+#: Default admission policy of a fleet sweep.
+DEFAULT_FLEET_ADMISSION = "drop_on_full"
+#: Default client model of a fleet sweep (closed loop: the model that
+#: makes saturation sweeps well defined).
+DEFAULT_FLEET_CLIENT = "closed_loop"
+#: Default cores per shard machine.
+DEFAULT_FLEET_SHARD_CORES = 2
+#: Default fleet-wide tenant count.
+DEFAULT_FLEET_TENANTS = 8
+#: Default fleet-wide request budget.
+DEFAULT_FLEET_REQUESTS = 400
+
+
+@dataclass(frozen=True)
+class FleetShardRequest:
+    """One fully specified shard of a fleet simulation.
+
+    The engine's unit of parallel fan-out: a shard request carries the
+    complete machine configuration plus the exact tenant placement the
+    router produced, so its content-hash identity
+    (:func:`repro.core.serialization.fleet_shard_cache_key`) reflects
+    every parameter that affects the shard's numbers.  ``service_cycles``
+    is derived state, excluded from the key exactly as for
+    :class:`ServiceRunRequest`.
+    """
+
+    policy: str
+    config: MI6Config
+    seed: int
+    shard_index: int
+    tenants: Tuple[int, ...]
+    num_tenants: int
+    admission: str
+    client: str
+    load: float
+    load_profile: str
+    num_cores: int
+    num_requests: int
+    queue_depth: int
+    slo_cycles: int
+    think_factor: float
+    instructions: int
+    churn_every: int = 0
+    dram_wipe_bytes_per_cycle: int = DEFAULT_WIPE_BYTES_PER_CYCLE
+    measurement_cycles_per_page: int = DEFAULT_MEASUREMENT_CYCLES_PER_PAGE
+    service_cycles: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    def cache_key(self) -> str:
+        """Content-hash identity of this shard run (the store key)."""
+        return fleet_shard_cache_key(
+            self.policy,
+            self.config,
+            self.seed,
+            shard_index=self.shard_index,
+            tenants=self.tenants,
+            num_tenants=self.num_tenants,
+            admission=self.admission,
+            client=self.client,
+            load=self.load,
+            load_profile=self.load_profile,
+            num_cores=self.num_cores,
+            num_requests=self.num_requests,
+            queue_depth=self.queue_depth,
+            slo_cycles=self.slo_cycles,
+            think_factor=self.think_factor,
+            instructions=self.instructions,
+            churn_every=self.churn_every,
+            dram_wipe_bytes_per_cycle=self.dram_wipe_bytes_per_cycle,
+            measurement_cycles_per_page=self.measurement_cycles_per_page,
+        )
+
+    def workload_requests(self) -> List[RunRequest]:
+        """Kernel runs pricing this shard's tenants (fallback path)."""
+        benchmarks = tenant_benchmarks(self.num_tenants)
+        seen: List[str] = []
+        for tenant in self.tenants:
+            if benchmarks[tenant] not in seen:
+                seen.append(benchmarks[tenant])
+        return [
+            RunRequest(
+                config=self.config,
+                benchmark=benchmark,
+                instructions=self.instructions,
+                seed=self.seed,
+            )
+            for benchmark in seen
+        ]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible encoding shipped to worker processes."""
+        return {
+            "policy": self.policy,
+            "config": config_to_dict(self.config),
+            "seed": self.seed,
+            "shard_index": self.shard_index,
+            "tenants": list(self.tenants),
+            "num_tenants": self.num_tenants,
+            "admission": self.admission,
+            "client": self.client,
+            "load": self.load,
+            "load_profile": self.load_profile,
+            "num_cores": self.num_cores,
+            "num_requests": self.num_requests,
+            "queue_depth": self.queue_depth,
+            "slo_cycles": self.slo_cycles,
+            "think_factor": self.think_factor,
+            "instructions": self.instructions,
+            "churn_every": self.churn_every,
+            "dram_wipe_bytes_per_cycle": self.dram_wipe_bytes_per_cycle,
+            "measurement_cycles_per_page": self.measurement_cycles_per_page,
+            "service_cycles": (
+                [list(pair) for pair in self.service_cycles]
+                if self.service_cycles is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> FleetShardRequest:
+        """Rebuild a request from :meth:`to_payload` output."""
+        cycles = payload.get("service_cycles")
+        return cls(
+            policy=payload["policy"],
+            config=config_from_dict(payload["config"]),
+            seed=payload["seed"],
+            shard_index=payload["shard_index"],
+            tenants=tuple(payload["tenants"]),
+            num_tenants=payload["num_tenants"],
+            admission=payload["admission"],
+            client=payload["client"],
+            load=payload["load"],
+            load_profile=payload["load_profile"],
+            num_cores=payload["num_cores"],
+            num_requests=payload["num_requests"],
+            queue_depth=payload["queue_depth"],
+            slo_cycles=payload["slo_cycles"],
+            think_factor=payload["think_factor"],
+            instructions=payload["instructions"],
+            churn_every=payload.get("churn_every", 0),
+            dram_wipe_bytes_per_cycle=payload["dram_wipe_bytes_per_cycle"],
+            measurement_cycles_per_page=payload["measurement_cycles_per_page"],
+            service_cycles=(
+                tuple((name, count) for name, count in cycles)
+                if cycles is not None
+                else None
+            ),
+        )
+
+
+def execute_fleet_shard_request(request: FleetShardRequest) -> ShardOutcome:
+    """Run one shard simulation (the only place shard runs happen)."""
+    cycles = (
+        dict(request.service_cycles)
+        if request.service_cycles is not None
+        else {
+            workload.benchmark: execute_request(workload).cycles
+            for workload in request.workload_requests()
+        }
+    )
+    return run_fleet_shard(
+        request.config,
+        request.policy,
+        service_cycles=cycles,
+        seed=request.seed,
+        shard_index=request.shard_index,
+        tenants=request.tenants,
+        num_tenants=request.num_tenants,
+        load=request.load,
+        load_profile=request.load_profile,
+        client=request.client,
+        num_cores=request.num_cores,
+        num_requests=request.num_requests,
+        queue_depth=request.queue_depth,
+        admission=request.admission,
+        slo_cycles=request.slo_cycles,
+        think_factor=request.think_factor,
+        churn_every=request.churn_every,
+        dram_wipe_bytes_per_cycle=request.dram_wipe_bytes_per_cycle,
+        measurement_cycles_per_page=request.measurement_cycles_per_page,
+    )
+
+
+def _fleet_shard_pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point for shard runs: dicts in, dicts out."""
+    return execute_fleet_shard_request(FleetShardRequest.from_payload(payload)).to_dict()
+
+
+@dataclass
+class FleetPlan:
+    """One fleet request lowered onto shards (router already applied)."""
+
+    assignment: Tuple[int, ...]
+    slo_cycles: int
+    mean_service_cycles: float
+    shard_requests: List[FleetShardRequest]
+
+    def shard_tenants(self, shard_index: int) -> Tuple[int, ...]:
+        """The tenants the router placed on ``shard_index``."""
+        return tuple(
+            tenant
+            for tenant, shard in enumerate(self.assignment)
+            if shard == shard_index
+        )
+
+
+@dataclass(frozen=True)
+class FleetRunRequest:
+    """One fully specified fleet simulation (all shards plus the merge).
+
+    Carries every fleet-level parameter — routing/admission policies,
+    client model, fleet shape, queue bound, SLO/think factors, and the
+    extended churn-costing knobs — hashed into
+    :func:`repro.core.serialization.fleet_cache_key`.  Lowering onto
+    shard requests (:meth:`shard_plan`) needs the service-cycle table,
+    because two routers weigh tenants by their measured demand.
+    """
+
+    policy: str
+    config: MI6Config
+    seed: int = DEFAULT_SEED
+    router: str = DEFAULT_FLEET_ROUTER
+    admission: str = DEFAULT_FLEET_ADMISSION
+    client: str = DEFAULT_FLEET_CLIENT
+    load: float = DEFAULT_SERVICE_LOAD
+    load_profile: str = "poisson"
+    num_shards: int = DEFAULT_FLEET_SHARDS
+    shard_cores: int = DEFAULT_FLEET_SHARD_CORES
+    num_tenants: int = DEFAULT_FLEET_TENANTS
+    num_requests: int = DEFAULT_FLEET_REQUESTS
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    slo_factor: float = DEFAULT_SLO_FACTOR
+    think_factor: float = DEFAULT_THINK_FACTOR
+    instructions: int = DEFAULT_SERVICE_INSTRUCTIONS
+    churn_every: int = 0
+    dram_wipe_bytes_per_cycle: int = DEFAULT_WIPE_BYTES_PER_CYCLE
+    measurement_cycles_per_page: int = DEFAULT_MEASUREMENT_CYCLES_PER_PAGE
+    service_cycles: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    def cache_key(self) -> str:
+        """Content-hash identity of this fleet run (the store key)."""
+        return fleet_cache_key(
+            self.policy,
+            self.config,
+            self.seed,
+            router=self.router,
+            admission=self.admission,
+            client=self.client,
+            load=self.load,
+            load_profile=self.load_profile,
+            num_shards=self.num_shards,
+            shard_cores=self.shard_cores,
+            num_tenants=self.num_tenants,
+            num_requests=self.num_requests,
+            queue_depth=self.queue_depth,
+            slo_factor=self.slo_factor,
+            think_factor=self.think_factor,
+            instructions=self.instructions,
+            churn_every=self.churn_every,
+            dram_wipe_bytes_per_cycle=self.dram_wipe_bytes_per_cycle,
+            measurement_cycles_per_page=self.measurement_cycles_per_page,
+        )
+
+    def workload_requests(self) -> List[RunRequest]:
+        """Kernel runs pricing this fleet's requests (same key space as
+        sweep runs, so fleet sweeps share cache entries with figures)."""
+        seen: List[str] = []
+        for benchmark in tenant_benchmarks(self.num_tenants):
+            if benchmark not in seen:
+                seen.append(benchmark)
+        return [
+            RunRequest(
+                config=self.config,
+                benchmark=benchmark,
+                instructions=self.instructions,
+                seed=self.seed,
+            )
+            for benchmark in seen
+        ]
+
+    def shard_plan(self, cycles: Dict[str, int]) -> FleetPlan:
+        """Route tenants and expand this fleet into shard requests.
+
+        Deterministic given the cycle table: the router sees each
+        tenant's measured demand plus an a-priori boundary-cost
+        estimate, the fleet-wide request budget is split evenly across
+        tenants (remainder to the lowest ids), and the SLO is fixed
+        fleet-wide from the mean service demand.  Shards the router
+        left empty (or with a zero budget) produce no request — the
+        merge fills their rows with :func:`empty_shard_outcome`.
+        """
+        benchmarks = tenant_benchmarks(self.num_tenants)
+        boundary = estimate_boundary_cycles(
+            self.config,
+            churn_every=self.churn_every,
+            dram_wipe_bytes_per_cycle=self.dram_wipe_bytes_per_cycle,
+            measurement_cycles_per_page=self.measurement_cycles_per_page,
+        )
+        loads = [
+            TenantLoad(
+                tenant=tenant,
+                benchmark=benchmarks[tenant],
+                demand_cycles=cycles[benchmarks[tenant]],
+                boundary_cycles=boundary,
+            )
+            for tenant in range(self.num_tenants)
+        ]
+        assignment = assign_tenants(self.router, loads, self.num_shards)
+        mean_service = sum(load.demand_cycles for load in loads) / self.num_tenants
+        slo_cycles = max(1, int(round(self.slo_factor * mean_service)))
+        base, extra = divmod(self.num_requests, self.num_tenants)
+        per_tenant = [
+            base + (1 if tenant < extra else 0) for tenant in range(self.num_tenants)
+        ]
+        shard_requests: List[FleetShardRequest] = []
+        for shard in range(self.num_shards):
+            members = tuple(
+                tenant
+                for tenant in range(self.num_tenants)
+                if assignment[tenant] == shard
+            )
+            budget = sum(per_tenant[tenant] for tenant in members)
+            if not members or budget < 1:
+                continue
+            table: Dict[str, int] = {}
+            for tenant in members:
+                table[benchmarks[tenant]] = cycles[benchmarks[tenant]]
+            shard_requests.append(
+                FleetShardRequest(
+                    policy=self.policy,
+                    config=self.config,
+                    seed=self.seed,
+                    shard_index=shard,
+                    tenants=members,
+                    num_tenants=self.num_tenants,
+                    admission=self.admission,
+                    client=self.client,
+                    load=self.load,
+                    load_profile=self.load_profile,
+                    num_cores=self.shard_cores,
+                    num_requests=budget,
+                    queue_depth=self.queue_depth,
+                    slo_cycles=slo_cycles,
+                    think_factor=self.think_factor,
+                    instructions=self.instructions,
+                    churn_every=self.churn_every,
+                    dram_wipe_bytes_per_cycle=self.dram_wipe_bytes_per_cycle,
+                    measurement_cycles_per_page=self.measurement_cycles_per_page,
+                    service_cycles=tuple(sorted(table.items())),
+                )
+            )
+        return FleetPlan(
+            assignment=assignment,
+            slo_cycles=slo_cycles,
+            mean_service_cycles=mean_service,
+            shard_requests=shard_requests,
+        )
+
+
+def resolve_fleet_cycles(request: FleetRunRequest) -> Dict[str, int]:
+    """Benchmark -> request service cycles, simulated directly.
+
+    The session resolves these through the result store instead; this
+    fallback keeps :func:`execute_fleet_request` a pure function of the
+    request for direct callers.
+    """
+    return {
+        workload.benchmark: execute_request(workload).cycles
+        for workload in request.workload_requests()
+    }
+
+
+def _merge_fleet(
+    request: FleetRunRequest, plan: FleetPlan, outcomes: Sequence[ShardOutcome]
+) -> FleetOutcome:
+    """Fold shard outcomes into the fleet document for ``request``."""
+    produced = {outcome.shard: outcome for outcome in outcomes}
+    shards = [
+        produced.get(index, empty_shard_outcome(index, plan.shard_tenants(index)))
+        for index in range(request.num_shards)
+    ]
+    return merge_shard_outcomes(
+        router=request.router,
+        admission=request.admission,
+        client=request.client,
+        policy=request.policy,
+        variant=request.config.name,
+        seed=request.seed,
+        load=request.load,
+        load_profile=request.load_profile,
+        num_shards=request.num_shards,
+        shard_cores=request.shard_cores,
+        num_tenants=request.num_tenants,
+        num_requests=request.num_requests,
+        queue_depth=request.queue_depth,
+        slo_cycles=plan.slo_cycles,
+        assignment=plan.assignment,
+        shards=shards,
+        details={
+            "slo_factor": request.slo_factor,
+            "think_factor": request.think_factor,
+            "churn_every": request.churn_every,
+            "dram_wipe_bytes_per_cycle": request.dram_wipe_bytes_per_cycle,
+            "measurement_cycles_per_page": request.measurement_cycles_per_page,
+            "mean_service_cycles": plan.mean_service_cycles,
+            "instructions_per_request": request.instructions,
+        },
+    )
+
+
+def execute_fleet_request(request: FleetRunRequest) -> FleetOutcome:
+    """Run one fleet simulation serially (shards in index order).
+
+    The runner's :meth:`ParallelRunner.run_fleets` fans shards out over
+    the store and the process pool instead; this pure path exists for
+    direct callers and produces bit-identical results.
+    """
+    cycles = (
+        dict(request.service_cycles)
+        if request.service_cycles is not None
+        else resolve_fleet_cycles(request)
+    )
+    plan = request.shard_plan(cycles)
+    outcomes = [
+        execute_fleet_shard_request(shard_request)
+        for shard_request in plan.shard_requests
+    ]
+    return _merge_fleet(request, plan, outcomes)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A fleet sweep: variants × loads × seeds on a fixed fleet shape.
+
+    Requests are expanded in deterministic insertion order (variants
+    outermost, seeds innermost).  The router/admission/client triple and
+    the fleet shape are shared across the sweep, so the grid isolates
+    the mitigation and offered-load axes — the goodput-vs-offered-load
+    frontier per mitigation spec.
+    """
+
+    variants: Tuple[VariantLike, ...] = DEFAULT_SCENARIO_VARIANTS
+    loads: Tuple[float, ...] = (DEFAULT_SERVICE_LOAD,)
+    seeds: Tuple[int, ...] = (DEFAULT_SEED,)
+    policy: str = DEFAULT_FLEET_POLICY
+    router: str = DEFAULT_FLEET_ROUTER
+    admission: str = DEFAULT_FLEET_ADMISSION
+    client: str = DEFAULT_FLEET_CLIENT
+    load_profile: str = "poisson"
+    num_shards: int = DEFAULT_FLEET_SHARDS
+    shard_cores: int = DEFAULT_FLEET_SHARD_CORES
+    num_tenants: int = DEFAULT_FLEET_TENANTS
+    num_requests: int = DEFAULT_FLEET_REQUESTS
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    slo_factor: float = DEFAULT_SLO_FACTOR
+    think_factor: float = DEFAULT_THINK_FACTOR
+    instructions: int = DEFAULT_SERVICE_INSTRUCTIONS
+    churn_every: int = 0
+    dram_wipe_bytes_per_cycle: int = DEFAULT_WIPE_BYTES_PER_CYCLE
+    measurement_cycles_per_page: int = DEFAULT_MEASUREMENT_CYCLES_PER_PAGE
+
+    @classmethod
+    def create(
+        cls,
+        variants: Optional[Sequence[VariantLike]] = None,
+        loads: Optional[Sequence[float]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        policy: str = DEFAULT_FLEET_POLICY,
+        router: str = DEFAULT_FLEET_ROUTER,
+        admission: str = DEFAULT_FLEET_ADMISSION,
+        client: str = DEFAULT_FLEET_CLIENT,
+        load_profile: str = "poisson",
+        num_shards: int = DEFAULT_FLEET_SHARDS,
+        shard_cores: int = DEFAULT_FLEET_SHARD_CORES,
+        num_tenants: int = DEFAULT_FLEET_TENANTS,
+        num_requests: int = DEFAULT_FLEET_REQUESTS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        slo_factor: float = DEFAULT_SLO_FACTOR,
+        think_factor: float = DEFAULT_THINK_FACTOR,
+        instructions: int = DEFAULT_SERVICE_INSTRUCTIONS,
+        churn_every: int = 0,
+        dram_wipe_bytes_per_cycle: int = DEFAULT_WIPE_BYTES_PER_CYCLE,
+        measurement_cycles_per_page: int = DEFAULT_MEASUREMENT_CYCLES_PER_PAGE,
+    ) -> FleetSpec:
+        """Spec with fleet defaults for anything omitted.
+
+        Defaults (for ``None`` arguments): the BASE-vs-F+P+M+A
+        comparison, one 0.7-load point, and the environment-controlled
+        seed.  Registry names (scheduling policy, router, admission,
+        client model, load profile) and the numeric fleet shape are
+        validated here rather than at run time.
+        """
+        for name, value in (
+            ("variants", variants),
+            ("loads", loads),
+            ("seeds", seeds),
+        ):
+            if value is not None and len(value) == 0:
+                raise ValueError(f"{name} must not be empty (pass None for the default)")
+        if policy not in policy_names():
+            raise ValueError(
+                f"unknown scheduling policy {policy!r} "
+                f"(expected one of: {', '.join(policy_names())})"
+            )
+        if router not in router_names():
+            raise ValueError(
+                f"unknown routing policy {router!r} "
+                f"(expected one of: {', '.join(router_names())})"
+            )
+        if admission not in admission_names():
+            raise ValueError(
+                f"unknown admission policy {admission!r} "
+                f"(expected one of: {', '.join(admission_names())})"
+            )
+        if client not in client_model_names():
+            raise ValueError(
+                f"unknown client model {client!r} "
+                f"(expected one of: {', '.join(client_model_names())})"
+            )
+        if load_profile not in LOAD_PROFILES:
+            raise ValueError(
+                f"unknown load profile {load_profile!r} "
+                f"(expected one of: {', '.join(LOAD_PROFILES)})"
+            )
+        if loads is not None and any(load <= 0.0 for load in loads):
+            raise ValueError("loads must be positive fractions of shard capacity")
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if shard_cores < 1:
+            raise ValueError("shard_cores must be positive")
+        if num_tenants < 1:
+            raise ValueError("num_tenants must be positive")
+        if num_requests < 1:
+            raise ValueError("num_requests must be positive")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if slo_factor <= 0.0:
+            raise ValueError("slo_factor must be positive")
+        if think_factor < 0.0:
+            raise ValueError("think_factor must be non-negative")
+        if instructions < 1:
+            raise ValueError("instructions must be positive")
+        if churn_every < 0:
+            raise ValueError("churn_every must be non-negative")
+        if dram_wipe_bytes_per_cycle < 0:
+            raise ValueError("dram_wipe_bytes_per_cycle must be non-negative")
+        if measurement_cycles_per_page < 0:
+            raise ValueError("measurement_cycles_per_page must be non-negative")
+        settings = EvaluationSettings.from_environment()
+        return cls(
+            variants=(
+                tuple(variants) if variants is not None else DEFAULT_SCENARIO_VARIANTS
+            ),
+            loads=tuple(loads) if loads is not None else (DEFAULT_SERVICE_LOAD,),
+            seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+            policy=policy,
+            router=router,
+            admission=admission,
+            client=client,
+            load_profile=load_profile,
+            num_shards=num_shards,
+            shard_cores=shard_cores,
+            num_tenants=num_tenants,
+            num_requests=num_requests,
+            queue_depth=queue_depth,
+            slo_factor=slo_factor,
+            think_factor=think_factor,
+            instructions=instructions,
+            churn_every=churn_every,
+            dram_wipe_bytes_per_cycle=dram_wipe_bytes_per_cycle,
+            measurement_cycles_per_page=measurement_cycles_per_page,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of fleet simulations in the sweep."""
+        return len(self.variants) * len(self.loads) * len(self.seeds)
+
+    def requests(self) -> List[FleetRunRequest]:
+        """Expand the sweep into fleet requests (deterministic order)."""
+        return [
+            FleetRunRequest(
+                policy=self.policy,
+                config=evaluation_config(variant, self.instructions),
+                seed=seed,
+                router=self.router,
+                admission=self.admission,
+                client=self.client,
+                load=load,
+                load_profile=self.load_profile,
+                num_shards=self.num_shards,
+                shard_cores=self.shard_cores,
+                num_tenants=self.num_tenants,
+                num_requests=self.num_requests,
+                queue_depth=self.queue_depth,
+                slo_factor=self.slo_factor,
+                think_factor=self.think_factor,
+                instructions=self.instructions,
+                churn_every=self.churn_every,
+                dram_wipe_bytes_per_cycle=self.dram_wipe_bytes_per_cycle,
+                measurement_cycles_per_page=self.measurement_cycles_per_page,
+            )
+            for variant in self.variants
+            for load in self.loads
+            for seed in self.seeds
+        ]
+
+
+# ----------------------------------------------------------------------
 # Sweeps
 
 
@@ -954,3 +1608,97 @@ class ParallelRunner:
         """Execute a full serving sweep, pairing requests with outcomes."""
         requests = spec.requests()
         return list(zip(requests, self.run_services(requests)))
+
+    # ------------------------------------------------------------------
+    # Fleet serving
+
+    def run_fleet_shards(
+        self, requests: Sequence[FleetShardRequest]
+    ) -> List[ShardOutcome]:
+        """Execute shard requests, returning outcomes in request order.
+
+        Mirrors :meth:`run_services` one level down: shard outcomes
+        persist under :data:`FLEET_SHARD_STORE_KIND` and cache misses
+        fan out one-per-worker over the process pool.  Results are
+        bit-identical across ``jobs`` settings because each shard's
+        streams are seeded from ``(seed, shard_index)`` alone and
+        ``pool.map`` preserves request order.
+        """
+
+        def lookup(key: str) -> Optional[ShardOutcome]:
+            payload = self.store.get_payload(FLEET_SHARD_STORE_KIND, key)
+            return ShardOutcome.from_dict(payload) if payload is not None else None
+
+        def persist(key: str, outcome: ShardOutcome) -> None:
+            self.store.put_payload(FLEET_SHARD_STORE_KIND, key, outcome.to_dict())
+
+        return self._execute_through_store(
+            requests,
+            lookup=lookup,
+            persist=persist,
+            execute=execute_fleet_shard_request,
+            pool_worker=_fleet_shard_pool_worker,
+            decode=ShardOutcome.from_dict,
+        )
+
+    def _execute_fleet(self, request: FleetRunRequest) -> FleetOutcome:
+        """Lower one fleet request onto shards and merge the outcomes.
+
+        Cannot reuse ``_execute_through_store``'s execute hook: the
+        expansion itself goes back through the store (kernel pricing via
+        :meth:`run`, shards via :meth:`run_fleet_shards`), so warm fleet
+        reruns skip the shard layer entirely while cold ones still share
+        cached shards and kernel runs with earlier sweeps.
+        """
+        if request.service_cycles is not None:
+            cycles = dict(request.service_cycles)
+        else:
+            workloads = request.workload_requests()
+            cycles = {
+                workload.benchmark: run.cycles
+                for workload, run in zip(workloads, self.run(workloads))
+            }
+        plan = request.shard_plan(cycles)
+        outcomes = self.run_fleet_shards(plan.shard_requests)
+        return _merge_fleet(request, plan, outcomes)
+
+    def run_fleets(self, requests: Sequence[FleetRunRequest]) -> List[FleetOutcome]:
+        """Execute fleet requests, returning outcomes in request order.
+
+        The merged fleet document persists under
+        :data:`FLEET_STORE_KIND` keyed by
+        :func:`repro.core.serialization.fleet_cache_key`, so a repeated
+        fleet run is a single document lookup.  ``last_keys`` and
+        ``last_origins`` are (re)aligned with the *fleet* request
+        sequence after any nested kernel/shard execution updated them.
+        """
+        requests = list(requests)
+        results: List[Optional[FleetOutcome]] = [None] * len(requests)
+        origins: List[str] = ["cold"] * len(requests)
+        keys: List[str] = [request.cache_key() for request in requests]
+        executed: Dict[str, FleetOutcome] = {}
+        for position, (request, key) in enumerate(zip(requests, keys)):
+            if key in executed:
+                results[position] = executed[key]
+                continue
+            payload = self.store.get_payload(FLEET_STORE_KIND, key)
+            if payload is not None:
+                results[position] = FleetOutcome.from_dict(payload)
+                origins[position] = "warm"
+                self.warm_runs += 1
+                continue
+            outcome = self._execute_fleet(request)
+            self.store.put_payload(FLEET_STORE_KIND, key, outcome.to_dict())
+            self.executed_runs += 1
+            executed[key] = outcome
+            results[position] = outcome
+        self.last_origins = origins
+        self.last_keys = keys
+        return [outcome for outcome in results if outcome is not None]
+
+    def run_fleet_spec(
+        self, spec: FleetSpec
+    ) -> List[Tuple[FleetRunRequest, FleetOutcome]]:
+        """Execute a full fleet sweep, pairing requests with outcomes."""
+        requests = spec.requests()
+        return list(zip(requests, self.run_fleets(requests)))

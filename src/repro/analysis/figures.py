@@ -20,7 +20,7 @@ from repro.analysis.harness import (
     runtime_overhead_metric,
 )
 from repro.analysis.store import ResultStore
-from repro.api.requests import ScenarioRequest, ServiceRequest
+from repro.api.requests import FleetRequest, ScenarioRequest, ServiceRequest
 from repro.api.session import coerce_session
 from repro.core.mitigations import VariantLike
 from repro.core.variants import Variant, config_for_variant
@@ -265,6 +265,97 @@ def service_latency_table(
         )
     )
     return SERVICE_TABLE_TITLE, service_latency_rows(result.service_outcomes)
+
+
+FLEET_TABLE_TITLE = (
+    "Fleet serving: goodput vs offered load (variant x load, sharded fleet)"
+)
+
+
+def fleet_goodput_rows(outcomes) -> list:
+    """Flatten :class:`FleetOutcome` values into goodput-table rows.
+
+    One row per outcome, in expansion order, with the fields
+    :func:`repro.analysis.report.format_fleet_table` renders: offered
+    load, goodput/throughput (requests per million cycles), tail
+    latency, fleet utilization, and the admission-control counters
+    (queue-full drops, deadline rejections, deadline misses).
+    """
+    rows = []
+    for outcome in outcomes:
+        rows.append(
+            {
+                "variant": outcome.variant,
+                "router": outcome.router,
+                "admission": outcome.admission,
+                "client": outcome.client_model,
+                "load": outcome.load,
+                "seed": outcome.seed,
+                "offered": outcome.offered,
+                "admitted": outcome.admitted,
+                "completed": outcome.completed,
+                "goodput_rpmc": outcome.goodput_rpmc,
+                "throughput_rpmc": outcome.throughput_rpmc,
+                "p50": outcome.latency["p50"],
+                "p95": outcome.latency["p95"],
+                "p99": outcome.latency["p99"],
+                "utilization": outcome.utilization,
+                "dropped_queue_full": outcome.dropped_queue_full,
+                "rejected_deadline": outcome.rejected_deadline,
+                "deadline_misses": outcome.deadline_misses,
+            }
+        )
+    return rows
+
+
+def fleet_saturation_points(rows) -> Dict[str, float]:
+    """Measured saturation point per variant from goodput-table rows.
+
+    The saturation point of a variant is the offered load at which its
+    goodput peaks over the sweep — past it, extra offered load only
+    grows queueing, drops, and deadline misses.  Rows must come from a
+    load sweep (:func:`fleet_goodput_rows` output); ties resolve to the
+    lowest such load.
+    """
+    best: Dict[str, Tuple[float, float]] = {}
+    for row in rows:
+        variant = row["variant"]
+        candidate = (row["goodput_rpmc"], -row["load"])
+        if variant not in best or candidate > best[variant]:
+            best[variant] = candidate
+    return {variant: -negative_load for variant, (_, negative_load) in best.items()}
+
+
+def fleet_goodput_table(
+    settings: Optional[EvaluationSettings] = None,
+    *,
+    variants: Optional[Tuple[VariantLike, ...]] = None,
+    loads: Optional[Tuple[float, ...]] = None,
+    seeds: Optional[Tuple[int, ...]] = None,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    **fleet_fields,
+) -> Tuple[str, list]:
+    """Fleet evaluation: goodput vs offered load per mitigation variant.
+
+    Runs the sharded fleet-serving sweep through the Session API —
+    per-request cycle costs, shard outcomes, and merged fleet documents
+    are all served from the session's store when warm — and flattens the
+    outcomes into the rows :func:`repro.analysis.report.format_fleet_table`
+    renders.  Keyword fleet fields (``router``, ``admission``,
+    ``num_shards``, ...) pass through to :class:`FleetRequest`.
+    """
+    settings = settings or EvaluationSettings.from_environment()
+    session = coerce_session(store, jobs)
+    result = session.run(
+        FleetRequest(
+            variants=variants,
+            loads=loads,
+            seeds=seeds if seeds is not None else (settings.seed,),
+            **fleet_fields,
+        )
+    )
+    return FLEET_TABLE_TITLE, fleet_goodput_rows(result.fleet_outcomes)
 
 
 def security_leakage_table(

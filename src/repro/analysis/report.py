@@ -94,6 +94,35 @@ def format_service_table(title: str, rows: Iterable[Mapping]) -> str:
     return "\n".join(lines)
 
 
+def format_fleet_table(title: str, rows: Iterable[Mapping]) -> str:
+    """Render the fleet sweep's variant × load goodput grid.
+
+    ``rows`` are flat dicts as produced by
+    :func:`repro.analysis.figures.fleet_goodput_rows`: variant, offered
+    load, goodput and throughput (requests per million cycles),
+    p95/p99 latency (cycles), fleet utilization, and the admission
+    counters (queue-full drops, deadline rejections, deadline misses).
+    """
+    rows = list(rows)
+    width = max([10] + [len(str(row["variant"])) for row in rows])
+    lines = [title, "-" * len(title)]
+    header = (
+        f"{'variant':<{width}} {'load':>5} {'offered':>8} {'done':>6} "
+        f"{'good/Mcyc':>10} {'p95':>9} {'p99':>9} "
+        f"{'util':>6} {'drop':>6} {'rejSLO':>7} {'miss':>6}"
+    )
+    lines.append(header)
+    for row in rows:
+        lines.append(
+            f"{row['variant']:<{width}} {row['load']:>5.2f} {row['offered']:>8} "
+            f"{row['completed']:>6} {row['goodput_rpmc']:>10.1f} "
+            f"{row['p95']:>9} {row['p99']:>9} {row['utilization']:>6.2f} "
+            f"{row['dropped_queue_full']:>6} {row['rejected_deadline']:>7} "
+            f"{row['deadline_misses']:>6}"
+        )
+    return "\n".join(lines)
+
+
 def format_comparison_table(rows: Dict[str, tuple], title: str = "") -> str:
     """Render rows of ``name -> (measured, paper)`` pairs."""
     lines = []

@@ -12,8 +12,8 @@ The one front door every consumer goes through:
 * :class:`Session` — owns the result store, the parallel runner, the
   evaluation settings, and the registries;
 * :class:`WorkloadRequest` / :class:`SweepRequest` /
-  :class:`ScenarioRequest` / :class:`ServiceRequest` — the typed
-  request hierarchy;
+  :class:`ScenarioRequest` / :class:`ServiceRequest` /
+  :class:`FleetRequest` — the typed request hierarchy;
 * :class:`Result` / :class:`ResultEntry` / :class:`Provenance` — the
   uniform result envelope (content-hash cache key, schema version,
   cold/warm origin, wall time);
@@ -27,6 +27,7 @@ member, or a :class:`~repro.core.mitigations.MitigationSet`.
 """
 
 from repro.api.requests import (
+    FleetRequest,
     Request,
     ScenarioRequest,
     ServiceRequest,
@@ -42,6 +43,7 @@ from repro.api.session import (
 )
 
 __all__ = [
+    "FleetRequest",
     "Provenance",
     "Request",
     "Result",

@@ -1,13 +1,16 @@
 """The typed request hierarchy accepted by :class:`repro.api.Session`.
 
-Every experiment the simulator can run is declared as one of three
+Every experiment the simulator can run is declared as one of these
 request shapes, and every front end (CLI, figures, benchmarks, examples,
 notebooks) speaks this one vocabulary instead of its own dialect:
 
 * :class:`WorkloadRequest` — one benchmark on one machine configuration;
 * :class:`SweepRequest` — a cartesian variants × benchmarks × seeds grid;
 * :class:`ScenarioRequest` — co-scheduled security scenarios across
-  variants × seeds on an N-core machine.
+  variants × seeds on an N-core machine;
+* :class:`ServiceRequest` — the enclave-serving sweep on one machine;
+* :class:`FleetRequest` — sharded fleet serving with routing, bounded
+  admission, and a closed-loop client model.
 
 Requests are *declarative*: fields left as ``None`` resolve against the
 session's :class:`~repro.analysis.engine.EvaluationSettings` (environment
@@ -27,8 +30,16 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
 
 from repro.analysis.engine import (
+    DEFAULT_FLEET_ADMISSION,
+    DEFAULT_FLEET_CLIENT,
+    DEFAULT_FLEET_POLICY,
+    DEFAULT_FLEET_REQUESTS,
+    DEFAULT_FLEET_ROUTER,
+    DEFAULT_FLEET_SHARD_CORES,
+    DEFAULT_FLEET_TENANTS,
     EvaluationSettings,
     ExperimentSpec,
+    FleetSpec,
     RunRequest,
     ScenarioSpec,
     ServiceSpec,
@@ -37,6 +48,14 @@ from repro.analysis.engine import (
 from repro.analysis.engine import ScenarioRequest as EngineScenarioRequest
 from repro.core.config import MI6Config
 from repro.core.mitigations import VariantLike
+from repro.fleet.simulation import (
+    DEFAULT_FLEET_SHARDS,
+    DEFAULT_MEASUREMENT_CYCLES_PER_PAGE,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SLO_FACTOR,
+    DEFAULT_THINK_FACTOR,
+    DEFAULT_WIPE_BYTES_PER_CYCLE,
+)
 from repro.service.simulation import (
     DEFAULT_SERVICE_CORES,
     DEFAULT_SERVICE_INSTRUCTIONS,
@@ -183,11 +202,74 @@ class ServiceRequest:
         )
 
 
+@dataclass(frozen=True)
+class FleetRequest:
+    """A fleet-scale serving sweep: variants × loads × seeds on shards.
+
+    ``None`` fields resolve to the paper's BASE-vs-F+P+M+A comparison,
+    one 0.7-load point, and the session seed.  The fleet shape —
+    ``num_shards`` independent shard machines of ``shard_cores`` cores,
+    a routing policy placing ``num_tenants`` tenants across them, a
+    bounded per-shard queue with an admission policy, and a client
+    model (closed-loop by default, so load sweeps drive the fleet to
+    saturation) — is shared across the grid, isolating the
+    mitigation/offered-load axes.  ``churn_every`` plus the DRAM-wipe
+    and measurement knobs extend churn costing with teardown charges.
+    """
+
+    variants: Optional[Sequence[VariantLike]] = None
+    loads: Optional[Sequence[float]] = None
+    seeds: Optional[Sequence[int]] = None
+    policy: str = DEFAULT_FLEET_POLICY
+    router: str = DEFAULT_FLEET_ROUTER
+    admission: str = DEFAULT_FLEET_ADMISSION
+    client: str = DEFAULT_FLEET_CLIENT
+    load_profile: str = "poisson"
+    num_shards: int = DEFAULT_FLEET_SHARDS
+    shard_cores: int = DEFAULT_FLEET_SHARD_CORES
+    num_tenants: int = DEFAULT_FLEET_TENANTS
+    requests: int = DEFAULT_FLEET_REQUESTS
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    slo_factor: float = DEFAULT_SLO_FACTOR
+    think_factor: float = DEFAULT_THINK_FACTOR
+    instructions: int = DEFAULT_SERVICE_INSTRUCTIONS
+    churn_every: int = 0
+    dram_wipe_bytes_per_cycle: int = DEFAULT_WIPE_BYTES_PER_CYCLE
+    measurement_cycles_per_page: int = DEFAULT_MEASUREMENT_CYCLES_PER_PAGE
+
+    def resolve(self, settings: EvaluationSettings) -> FleetSpec:
+        """Lower onto the engine's fleet spec."""
+        return FleetSpec.create(
+            variants=self.variants,
+            loads=self.loads,
+            seeds=self.seeds if self.seeds is not None else (settings.seed,),
+            policy=self.policy,
+            router=self.router,
+            admission=self.admission,
+            client=self.client,
+            load_profile=self.load_profile,
+            num_shards=self.num_shards,
+            shard_cores=self.shard_cores,
+            num_tenants=self.num_tenants,
+            num_requests=self.requests,
+            queue_depth=self.queue_depth,
+            slo_factor=self.slo_factor,
+            think_factor=self.think_factor,
+            instructions=self.instructions,
+            churn_every=self.churn_every,
+            dram_wipe_bytes_per_cycle=self.dram_wipe_bytes_per_cycle,
+            measurement_cycles_per_page=self.measurement_cycles_per_page,
+        )
+
+
 #: Any request the Session accepts.
-Request = Union[WorkloadRequest, SweepRequest, ScenarioRequest, ServiceRequest]
+Request = Union[
+    WorkloadRequest, SweepRequest, ScenarioRequest, ServiceRequest, FleetRequest
+]
 
 __all__ = [
     "EngineScenarioRequest",
+    "FleetRequest",
     "Request",
     "ScenarioRequest",
     "ServiceRequest",

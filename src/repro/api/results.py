@@ -21,6 +21,7 @@ from repro.analysis.engine import ExperimentResult
 from repro.attacks.scenarios import ScenarioOutcome
 from repro.core.mitigations import VariantLike, spec_name
 from repro.core.processor import WorkloadRun
+from repro.fleet.simulation import FleetOutcome
 from repro.service.simulation import ServiceOutcome
 
 
@@ -37,8 +38,10 @@ class Provenance:
             (served from the result store).
         purge: For serving entries, the purge audit behind the numbers —
             total monitor purges, their stall cycles, the cycles
-            actually charged to latency, and the per-core breakdown
-            (``None`` for entry kinds without enclave boundaries).
+            actually charged to latency, and the per-core breakdown; for
+            fleet entries, the admission audit (offered/admitted counts,
+            drop and deadline counters, per-shard rows).  ``None`` for
+            entry kinds without enclave boundaries.
     """
 
     cache_key: str
@@ -188,4 +191,13 @@ class Result:
             entry.value
             for entry in self.entries
             if isinstance(entry.value, ServiceOutcome)
+        ]
+
+    @property
+    def fleet_outcomes(self) -> List[FleetOutcome]:
+        """All fleet serving outcomes, in expansion order."""
+        return [
+            entry.value
+            for entry in self.entries
+            if isinstance(entry.value, FleetOutcome)
         ]

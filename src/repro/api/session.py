@@ -31,6 +31,7 @@ from repro.analysis.engine import (
 )
 from repro.analysis.store import ResultStore
 from repro.api.requests import (
+    FleetRequest,
     Request,
     ScenarioRequest,
     ServiceRequest,
@@ -47,6 +48,9 @@ from repro.core.mitigations import (
     known_mitigations,
 )
 from repro.core.serialization import SCHEMA_VERSION
+from repro.fleet.admission import admission_description, admission_names
+from repro.fleet.clients import client_model_description, client_model_names
+from repro.fleet.routing import router_description, router_names
 from repro.service.schedulers import policy_description, policy_names
 from repro.workloads.spec_cint2006 import benchmark_names
 
@@ -97,6 +101,18 @@ class Session:
         """Registered serving scheduling policies and their descriptions."""
         return {name: policy_description(name) for name in policy_names()}
 
+    def routers(self) -> Dict[str, str]:
+        """Registered fleet routing policies and their descriptions."""
+        return {name: router_description(name) for name in router_names()}
+
+    def admission_policies(self) -> Dict[str, str]:
+        """Registered fleet admission policies and their descriptions."""
+        return {name: admission_description(name) for name in admission_names()}
+
+    def client_models(self) -> Dict[str, str]:
+        """Registered fleet client models and their descriptions."""
+        return {name: client_model_description(name) for name in client_model_names()}
+
     def benchmarks(self) -> List[str]:
         """Calibrated benchmark profile names, in paper order."""
         return benchmark_names()
@@ -123,10 +139,12 @@ class Session:
             return self._run_scenarios(request)
         if isinstance(request, ServiceRequest):
             return self._run_service(request)
+        if isinstance(request, FleetRequest):
+            return self._run_fleet(request)
         raise TypeError(
             f"unsupported request type {type(request).__name__!r} "
-            "(expected WorkloadRequest, SweepRequest, ScenarioRequest, or "
-            "ServiceRequest)"
+            "(expected WorkloadRequest, SweepRequest, ScenarioRequest, "
+            "ServiceRequest, or FleetRequest)"
         )
 
     def _entries_for(
@@ -255,6 +273,56 @@ class Session:
             wall_time_seconds=elapsed,
         )
 
+    def _run_fleet(self, request: FleetRequest) -> Result:
+        spec = request.resolve(self.settings)
+        engine_requests = spec.requests()
+        started = time.perf_counter()
+        # Price each fleet's requests through the run layer first, as in
+        # _run_service: the router weighs tenants by these measured
+        # costs, and a warm fleet rerun is a single document lookup.
+        workload_lists = [
+            fleet_request.workload_requests() for fleet_request in engine_requests
+        ]
+        flat = [workload for group in workload_lists for workload in group]
+        runs = self.runner.run(flat) if flat else []
+        resolved = []
+        cursor = 0
+        for fleet_request, group in zip(engine_requests, workload_lists):
+            table = tuple(
+                sorted(
+                    (workload.benchmark, run.cycles)
+                    for workload, run in zip(group, runs[cursor : cursor + len(group)])
+                )
+            )
+            cursor += len(group)
+            resolved.append(replace(fleet_request, service_cycles=table))
+        outcomes = self.runner.run_fleets(resolved)
+        elapsed = time.perf_counter() - started
+        keys = [
+            (
+                fleet_request.config.name,
+                fleet_request.load,
+                fleet_request.seed,
+            )
+            for fleet_request in engine_requests
+        ]
+        admission_audits = [
+            {
+                "offered": outcome.offered,
+                "admitted": outcome.admitted,
+                "dropped_queue_full": outcome.dropped_queue_full,
+                "rejected_deadline": outcome.rejected_deadline,
+                "deadline_misses": outcome.deadline_misses,
+                "per_shard": [dict(row) for row in outcome.per_shard],
+            }
+            for outcome in outcomes
+        ]
+        return Result(
+            request=request,
+            entries=self._entries_for(outcomes, keys, admission_audits),
+            wall_time_seconds=elapsed,
+        )
+
     # ------------------------------------------------------------------
     # One-line conveniences (build the request, run it)
 
@@ -297,6 +365,15 @@ class Session:
     ) -> Result:
         """Run the enclave-serving sweep (policies × variants × loads)."""
         return self.run(ServiceRequest(policies=policies, variants=variants, **fields))
+
+    def serve_fleet(
+        self,
+        variants: Optional[Sequence[VariantLike]] = None,
+        loads: Optional[Sequence[float]] = None,
+        **fields: Any,
+    ) -> Result:
+        """Run the sharded fleet-serving sweep (variants × loads × seeds)."""
+        return self.run(FleetRequest(variants=variants, loads=loads, **fields))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -13,6 +13,9 @@ Examples::
     repro-bench serve
     repro-bench serve --policy fifo batch --load 0.6 0.9 --profile bursty
     repro-bench serve --variants BASE F+P+M+A --num-cores 8 --tenants 12 --json
+    repro-bench fleet
+    repro-bench fleet --shards 8 --router least_loaded --admission deadline
+    repro-bench fleet --load 0.4 0.8 1.2 1.6 --queue-depth 16 --json
     repro-bench perf
     repro-bench perf --instructions 20000 --baseline benchmarks/perf_baseline.json
     repro-bench list
@@ -36,13 +39,24 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis import figures
 from repro.analysis.engine import EvaluationSettings
+from repro.analysis.engine import (
+    DEFAULT_FLEET_ADMISSION,
+    DEFAULT_FLEET_CLIENT,
+    DEFAULT_FLEET_POLICY,
+    DEFAULT_FLEET_REQUESTS,
+    DEFAULT_FLEET_ROUTER,
+    DEFAULT_FLEET_SHARD_CORES,
+    DEFAULT_FLEET_TENANTS,
+)
 from repro.analysis.report import (
+    format_fleet_table,
     format_security_table,
     format_series_table,
     format_service_table,
 )
 from repro.analysis.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.api import (
+    FleetRequest,
     ScenarioRequest,
     ServiceRequest,
     Session,
@@ -53,6 +67,14 @@ from repro.attacks.scenarios import scenario_names
 from repro.common.errors import ConfigurationError
 from repro.core.mitigations import known_compositions, known_mitigations
 from repro.core.variants import parse_variant
+from repro.fleet.simulation import (
+    DEFAULT_FLEET_SHARDS,
+    DEFAULT_MEASUREMENT_CYCLES_PER_PAGE,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SLO_FACTOR,
+    DEFAULT_THINK_FACTOR,
+    DEFAULT_WIPE_BYTES_PER_CYCLE,
+)
 from repro.lint import add_lint_arguments, command_lint
 from repro.service import (
     DEFAULT_SERVICE_CORES,
@@ -69,6 +91,7 @@ from repro.perf import (
     commit_record_path,
     compare_to_baseline,
     load_bench,
+    run_fleet_case,
     run_service_case,
     run_suite,
 )
@@ -471,14 +494,100 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fleet(args: argparse.Namespace) -> int:
+    # Registry names (scheduling policy, router, admission, client
+    # model, load profile) and the numeric fleet shape are validated by
+    # FleetSpec.create; its ValueError lands in the except below.
+    try:
+        variants = _parse_variants(args.variants)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    session = _build_session(args)
+    settings = _settings(args)
+    try:
+        result = session.run(
+            FleetRequest(
+                variants=variants,
+                loads=args.load or None,
+                seeds=args.seeds or [settings.seed],
+                policy=args.policy,
+                router=args.router,
+                admission=args.admission,
+                client=args.client,
+                load_profile=args.profile,
+                num_shards=args.shards,
+                shard_cores=args.shard_cores,
+                num_tenants=args.tenants,
+                requests=args.requests,
+                queue_depth=args.queue_depth,
+                slo_factor=args.slo_factor,
+                think_factor=args.think_factor,
+                instructions=args.instructions
+                if args.instructions is not None
+                else DEFAULT_SERVICE_INSTRUCTIONS,
+                churn_every=args.churn_every,
+                dram_wipe_bytes_per_cycle=args.wipe_bytes_per_cycle,
+                measurement_cycles_per_page=args.measurement_cycles,
+            )
+        )
+    except (ValueError, ConfigurationError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.json:
+        entries = []
+        for entry in result.entries:
+            variant_name, load, seed = entry.key
+            entries.append(
+                {
+                    "variant": variant_name,
+                    "load": load,
+                    "seed": seed,
+                    "outcome": entry.value.to_dict(),
+                    "cache_key": entry.provenance.cache_key,
+                    "origin": entry.provenance.origin,
+                    "admission": entry.provenance.purge,
+                }
+            )
+        # As for serve: no wall time inside the document, so outcome
+        # payloads are bit-identical across repeated seeded invocations
+        # and across --jobs settings; only "origin"/"cache" distinguish
+        # a cold run from a warm one.
+        print(
+            json.dumps(
+                {
+                    "command": "fleet",
+                    "entries": entries,
+                    "cache": _cache_summary_dict(session),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    rows = figures.fleet_goodput_rows(result.fleet_outcomes)
+    print(format_fleet_table(figures.FLEET_TABLE_TITLE, rows))
+    loads = {row["load"] for row in rows}
+    if len(loads) > 1:
+        print()
+        print("measured saturation points (offered load at peak goodput):")
+        for variant, load in figures.fleet_saturation_points(rows).items():
+            print(f"  {variant:<12} {load:.2f}")
+    _print_cache_summary(session, result.wall_time_seconds)
+    return 0
+
+
 def _command_perf(args: argparse.Namespace) -> int:
     result = run_suite(
         instructions=args.instructions, seed=args.seed, components=args.components
     )
     service = None if args.no_service else run_service_case(components=args.components)
+    fleet = None if args.no_fleet else run_fleet_case(components=args.components)
     recorder = BenchRecorder(args.output_dir)
     record = recorder.build_record(
-        result, calibration=calibration_score(), service=service
+        result, calibration=calibration_score(), service=service, fleet=fleet
     )
     record_path = None
     if not args.no_record:
@@ -514,6 +623,7 @@ def _command_perf(args: argparse.Namespace) -> int:
                 "ratio": comparison.ratio,
                 "raw_ratio": comparison.raw_ratio,
                 "service_ratio": comparison.service_ratio,
+                "fleet_ratio": comparison.fleet_ratio,
                 "max_regression_percent": args.max_regression,
                 "regressed": comparison.regressed,
             }
@@ -561,6 +671,22 @@ def _command_perf(args: argparse.Namespace) -> int:
                     for component, share in service_record["component_shares"].items()
                 )
                 print(f"{'':<12} time shares: {shares}")
+        if fleet is not None:
+            fleet_record = record["fleet"]
+            print(
+                f"fleet ({fleet_record['router']}/{fleet_record['admission']}"
+                f"/{fleet_record['variant']}): "
+                f"{fleet_record['requests']} requests in "
+                f"{fleet_record['wall_seconds']:.3f}s = "
+                f"{fleet_record['requests_per_second']:.0f} req/s, "
+                f"normalized {fleet_record['normalized_throughput']:.1f}"
+            )
+            if fleet_record.get("component_shares"):
+                shares = ", ".join(
+                    f"{component} {share:.0%}"
+                    for component, share in fleet_record["component_shares"].items()
+                )
+                print(f"{'':<12} time shares: {shares}")
         if record["slow_path"]:
             print("note: REPRO_SLOW_PATH is active (reference kernel)")
         if record_path is not None:
@@ -575,6 +701,8 @@ def _command_perf(args: argparse.Namespace) -> int:
             )
             if comparison.service_ratio is not None:
                 line += f", service {comparison.service_ratio:.2f}x"
+            if comparison.fleet_ratio is not None:
+                line += f", fleet {comparison.fleet_ratio:.2f}x"
             print(f"{line}, gate -{args.max_regression:.0f}% -> {verdict}")
     if comparison is not None and comparison.regressed:
         _print_perf_regression(record, baseline, comparison)
@@ -631,6 +759,16 @@ def _print_perf_regression(record, baseline, comparison) -> None:
             f" -> {comparison.service_ratio:5.2f}x",
             file=sys.stderr,
         )
+    current_fleet = record.get("fleet")
+    baseline_fleet = baseline.get("fleet")
+    if current_fleet and baseline_fleet and comparison.fleet_ratio is not None:
+        print(
+            f"  {'fleet (' + str(current_fleet.get('router')) + ')':<24}"
+            f" {float(current_fleet['normalized_throughput']):9.1f}"
+            f" vs {float(baseline_fleet['normalized_throughput']):9.1f}"
+            f" -> {comparison.fleet_ratio:5.2f}x",
+            file=sys.stderr,
+        )
     print(
         f"  {'aggregate':<24} {comparison.current_normalized:9.1f}"
         f" vs {comparison.baseline_normalized:9.1f}"
@@ -660,6 +798,15 @@ def _command_list(_args: argparse.Namespace) -> int:
         print(f"  {name:<16} {description}")
     print("serving policies:")
     for name, description in session.policies().items():
+        print(f"  {name:<16} {description}")
+    print("fleet routers:")
+    for name, description in session.routers().items():
+        print(f"  {name:<16} {description}")
+    print("fleet admission policies:")
+    for name, description in session.admission_policies().items():
+        print(f"  {name:<16} {description}")
+    print("fleet client models:")
+    for name, description in session.client_models().items():
         print(f"  {name:<16} {description}")
     return 0
 
@@ -842,6 +989,134 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(serve, instructions=False)
     serve.set_defaults(handler=_command_serve)
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="simulate a sharded fleet with routing, bounded admission, and "
+        "closed-loop clients (variants x loads x seeds)",
+    )
+    fleet.add_argument(
+        "--variants",
+        nargs="+",
+        default=None,
+        help="mitigation specs, e.g. BASE FLUSH+MISS (default: BASE and F+P+M+A)",
+    )
+    fleet.add_argument(
+        "--load",
+        nargs="+",
+        type=float,
+        default=None,
+        help="offered load points as fractions of per-shard capacity (default: 0.7)",
+    )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_FLEET_SHARDS,
+        help=f"independent shard machines (default {DEFAULT_FLEET_SHARDS})",
+    )
+    fleet.add_argument(
+        "--shard-cores",
+        type=int,
+        default=DEFAULT_FLEET_SHARD_CORES,
+        help=f"serving cores per shard (default {DEFAULT_FLEET_SHARD_CORES})",
+    )
+    fleet.add_argument(
+        "--router",
+        default=DEFAULT_FLEET_ROUTER,
+        help="routing policy placing tenants on shards "
+        f"(default {DEFAULT_FLEET_ROUTER}; see 'repro-bench list')",
+    )
+    fleet.add_argument(
+        "--admission",
+        default=DEFAULT_FLEET_ADMISSION,
+        help="admission policy at each shard's bounded queue "
+        f"(default {DEFAULT_FLEET_ADMISSION}; see 'repro-bench list')",
+    )
+    fleet.add_argument(
+        "--client",
+        default=DEFAULT_FLEET_CLIENT,
+        help="client model generating the request stream "
+        f"(default {DEFAULT_FLEET_CLIENT}; see 'repro-bench list')",
+    )
+    fleet.add_argument(
+        "--policy",
+        default=DEFAULT_FLEET_POLICY,
+        help=f"per-shard scheduling policy (default {DEFAULT_FLEET_POLICY})",
+    )
+    fleet.add_argument(
+        "--profile",
+        choices=LOAD_PROFILES,
+        default="poisson",
+        help="arrival process shape for open-loop clients (default: poisson)",
+    )
+    fleet.add_argument(
+        "--queue-depth",
+        type=int,
+        default=DEFAULT_QUEUE_DEPTH,
+        help=f"bounded per-shard queue depth (default {DEFAULT_QUEUE_DEPTH})",
+    )
+    fleet.add_argument(
+        "--tenants",
+        type=int,
+        default=DEFAULT_FLEET_TENANTS,
+        help=f"tenant enclaves across the fleet (default {DEFAULT_FLEET_TENANTS})",
+    )
+    fleet.add_argument(
+        "--requests",
+        type=int,
+        default=DEFAULT_FLEET_REQUESTS,
+        help=f"fleet-wide request budget (default {DEFAULT_FLEET_REQUESTS})",
+    )
+    fleet.add_argument(
+        "--slo-factor",
+        type=float,
+        default=DEFAULT_SLO_FACTOR,
+        help="latency SLO as a multiple of the mean request service time "
+        f"(default {DEFAULT_SLO_FACTOR})",
+    )
+    fleet.add_argument(
+        "--think-factor",
+        type=float,
+        default=DEFAULT_THINK_FACTOR,
+        help="closed-loop mean think time as a multiple of the mean service "
+        f"time (default {DEFAULT_THINK_FACTOR})",
+    )
+    fleet.add_argument(
+        "--churn-every",
+        type=int,
+        default=0,
+        help="destroy+recreate a tenant's enclave after N of its requests (default off)",
+    )
+    fleet.add_argument(
+        "--wipe-bytes-per-cycle",
+        type=int,
+        default=DEFAULT_WIPE_BYTES_PER_CYCLE,
+        help="DRAM-wipe bandwidth charged on churn teardown "
+        f"(default {DEFAULT_WIPE_BYTES_PER_CYCLE} bytes/cycle)",
+    )
+    fleet.add_argument(
+        "--measurement-cycles",
+        type=int,
+        default=DEFAULT_MEASUREMENT_CYCLES_PER_PAGE,
+        help="enclave-measurement cycles per loaded page charged on churn "
+        f"re-create (default {DEFAULT_MEASUREMENT_CYCLES_PER_PAGE})",
+    )
+    fleet.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help=f"instructions per request (default {DEFAULT_SERVICE_INSTRUCTIONS})",
+    )
+    fleet.add_argument(
+        "--seeds", nargs="+", type=int, default=None, help="seeds (default: the sweep seed)"
+    )
+    fleet.add_argument(
+        "--json",
+        action="store_true",
+        help="print entries and the cache summary as JSON (for CI and scripts)",
+    )
+    _add_common_arguments(fleet, instructions=False)
+    fleet.set_defaults(handler=_command_fleet)
+
     perf = subparsers.add_parser(
         "perf",
         help="measure simulator throughput on the pinned suite and record a BENCH file",
@@ -888,6 +1163,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-service",
         action="store_true",
         help="skip the pinned enclave-serving event-loop case",
+    )
+    perf.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the pinned sharded-fleet case",
     )
     perf.add_argument(
         "--components",

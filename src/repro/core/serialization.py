@@ -196,6 +196,126 @@ def service_cache_key(
     )
 
 
+def fleet_cache_key(
+    policy: str,
+    config: MI6Config,
+    seed: int,
+    *,
+    router: str,
+    admission: str,
+    client: str,
+    load: float,
+    load_profile: str,
+    num_shards: int,
+    shard_cores: int,
+    num_tenants: int,
+    num_requests: int,
+    queue_depth: int,
+    slo_factor: float,
+    think_factor: float,
+    instructions: int,
+    churn_every: int,
+    dram_wipe_bytes_per_cycle: int,
+    measurement_cycles_per_page: int,
+) -> str:
+    """Canonical cache key for one fleet simulation (the merged document).
+
+    Mirrors :func:`service_cache_key` one level up: the digest covers
+    the complete machine configuration plus every fleet parameter —
+    routing and admission policies, client model, fleet shape, queue
+    bound, SLO and think-time factors, and the extended churn-costing
+    knobs (DRAM-wipe bandwidth, measurement cost) — under its own
+    ``kind`` discriminator.  The per-benchmark service-cycle table is
+    deliberately *not* part of the key: it is derived deterministically
+    from ``(config, instructions, seed)`` through the run layer.
+    """
+    return _digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": "fleet",
+            "policy": policy,
+            "config": config_to_dict(config),
+            "seed": seed,
+            "router": router,
+            "admission": admission,
+            "client": client,
+            "load": load,
+            "load_profile": load_profile,
+            "num_shards": num_shards,
+            "shard_cores": shard_cores,
+            "num_tenants": num_tenants,
+            "num_requests": num_requests,
+            "queue_depth": queue_depth,
+            "slo_factor": slo_factor,
+            "think_factor": think_factor,
+            "instructions": instructions,
+            "churn_every": churn_every,
+            "dram_wipe_bytes_per_cycle": dram_wipe_bytes_per_cycle,
+            "measurement_cycles_per_page": measurement_cycles_per_page,
+        }
+    )
+
+
+def fleet_shard_cache_key(
+    policy: str,
+    config: MI6Config,
+    seed: int,
+    *,
+    shard_index: int,
+    tenants: tuple,
+    num_tenants: int,
+    admission: str,
+    client: str,
+    load: float,
+    load_profile: str,
+    num_cores: int,
+    num_requests: int,
+    queue_depth: int,
+    slo_cycles: int,
+    think_factor: float,
+    instructions: int,
+    churn_every: int,
+    dram_wipe_bytes_per_cycle: int,
+    measurement_cycles_per_page: int,
+) -> str:
+    """Canonical cache key for one shard of a fleet simulation.
+
+    Shards are the engine's unit of parallel fan-out, so each needs its
+    own content-hash identity in the store's document layer.  The
+    digest covers everything the shard event loop consumes — including
+    the shard index (it seeds the shard's streams) and the exact tenant
+    placement the router produced — under its own ``kind``
+    discriminator.  The service-cycle table is excluded for the same
+    reason as in :func:`service_cache_key`; the router name is fleet-
+    level state (the placement it produced is hashed instead).
+    """
+    return _digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": "fleet-shard",
+            "policy": policy,
+            "config": config_to_dict(config),
+            "seed": seed,
+            "shard_index": shard_index,
+            "tenants": list(tenants),
+            "num_tenants": num_tenants,
+            "admission": admission,
+            "client": client,
+            "load": load,
+            "load_profile": load_profile,
+            "num_cores": num_cores,
+            "num_requests": num_requests,
+            "queue_depth": queue_depth,
+            "slo_cycles": slo_cycles,
+            "think_factor": think_factor,
+            "instructions": instructions,
+            "churn_every": churn_every,
+            "dram_wipe_bytes_per_cycle": dram_wipe_bytes_per_cycle,
+            "measurement_cycles_per_page": measurement_cycles_per_page,
+        }
+    )
+
+
 # ----------------------------------------------------------------------
 # Results
 

@@ -1,0 +1,68 @@
+"""Fleet-scale sharded serving: router, admission control, clients.
+
+The serving layer (:mod:`repro.service`) simulates one machine; this
+package scales it out.  A front-end router distributes tenant enclaves
+across N independent shard machines (:mod:`repro.fleet.routing`), each
+shard runs the discrete-event serving loop behind a bounded queue with
+admission control (:mod:`repro.fleet.admission`,
+:mod:`repro.fleet.simulation`), and the request stream comes from either
+the open-loop arrival profiles or a closed-loop think-time client
+population (:mod:`repro.fleet.clients`) so offered load can be swept to
+saturation.  Shard results merge deterministically into a
+:class:`~repro.fleet.simulation.FleetOutcome`, the unit the engine
+caches and the CLI reports.
+"""
+
+from repro.fleet.admission import (
+    admission_description,
+    admission_names,
+    register_admission_policy,
+)
+from repro.fleet.clients import (
+    client_model_description,
+    client_model_names,
+    register_client_model,
+)
+from repro.fleet.routing import (
+    TenantLoad,
+    assign_tenants,
+    register_router,
+    router_description,
+    router_names,
+)
+from repro.fleet.simulation import (
+    DEFAULT_FLEET_SHARDS,
+    DEFAULT_MEASUREMENT_CYCLES_PER_PAGE,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SLO_FACTOR,
+    DEFAULT_THINK_FACTOR,
+    DEFAULT_WIPE_BYTES_PER_CYCLE,
+    FleetOutcome,
+    ShardOutcome,
+    merge_shard_outcomes,
+    run_fleet_shard,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_SHARDS",
+    "DEFAULT_MEASUREMENT_CYCLES_PER_PAGE",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_SLO_FACTOR",
+    "DEFAULT_THINK_FACTOR",
+    "DEFAULT_WIPE_BYTES_PER_CYCLE",
+    "FleetOutcome",
+    "ShardOutcome",
+    "TenantLoad",
+    "assign_tenants",
+    "admission_description",
+    "admission_names",
+    "client_model_description",
+    "client_model_names",
+    "merge_shard_outcomes",
+    "register_admission_policy",
+    "register_client_model",
+    "register_router",
+    "router_description",
+    "router_names",
+    "run_fleet_shard",
+]

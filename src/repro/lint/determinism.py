@@ -41,6 +41,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "core",
     "monitor",
     "service",
+    "fleet",
     "attacks",
     "isa",
     "os_model",

@@ -32,6 +32,9 @@ OWNING_MODULES: Dict[str, Tuple[str, ...]] = {
     "register_mitigation": ("repro/core/mitigations.py",),
     "register_composition": ("repro/core/mitigations.py",),
     "register_arrival_profile": ("repro/service/arrivals.py",),
+    "register_router": ("repro/fleet/routing.py",),
+    "register_admission_policy": ("repro/fleet/admission.py",),
+    "register_client_model": ("repro/fleet/clients.py",),
     "register_rule": ("repro/lint/",),
 }
 

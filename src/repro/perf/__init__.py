@@ -33,13 +33,17 @@ from repro.perf.recorder import (
 )
 from repro.perf.suite import (
     DEFAULT_SUITE_INSTRUCTIONS,
+    PINNED_FLEET_CASE,
     PINNED_SEED,
     PINNED_SERVICE_CASE,
     PINNED_SUITE,
+    FleetCaseMeasurement,
     ServiceCaseMeasurement,
     SuiteMeasurement,
     SuiteResult,
+    pinned_fleet_request,
     pinned_service_request,
+    run_fleet_case,
     run_service_case,
     run_suite,
     suite_requests,
@@ -51,6 +55,8 @@ __all__ = [
     "BenchComparison",
     "BenchRecorder",
     "DEFAULT_SUITE_INSTRUCTIONS",
+    "FleetCaseMeasurement",
+    "PINNED_FLEET_CASE",
     "PINNED_SEED",
     "PINNED_SERVICE_CASE",
     "PINNED_SUITE",
@@ -64,7 +70,9 @@ __all__ = [
     "compare_to_baseline",
     "component_shares_of",
     "load_bench",
+    "pinned_fleet_request",
     "pinned_service_request",
+    "run_fleet_case",
     "run_service_case",
     "run_suite",
     "suite_requests",

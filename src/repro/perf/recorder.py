@@ -30,7 +30,11 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.common.fastpath import slow_path_enabled
-from repro.perf.suite import ServiceCaseMeasurement, SuiteResult
+from repro.perf.suite import (
+    FleetCaseMeasurement,
+    ServiceCaseMeasurement,
+    SuiteResult,
+)
 
 #: Version of the BENCH file format (independent of the run-store schema).
 BENCH_SCHEMA_VERSION = 1
@@ -139,6 +143,7 @@ class BenchComparison:
     max_regression: float
     regressed: bool
     service_ratio: Optional[float] = None
+    fleet_ratio: Optional[float] = None
 
     @property
     def service_regressed(self) -> bool:
@@ -146,6 +151,14 @@ class BenchComparison:
         return (
             self.service_ratio is not None
             and self.service_ratio < (1.0 - self.max_regression)
+        )
+
+    @property
+    def fleet_regressed(self) -> bool:
+        """True when the fleet layer's ratio broke the gate."""
+        return (
+            self.fleet_ratio is not None
+            and self.fleet_ratio < (1.0 - self.max_regression)
         )
 
 
@@ -172,6 +185,7 @@ class BenchRecorder:
         sha: Optional[str] = None,
         when: Optional[date] = None,
         service: Optional[ServiceCaseMeasurement] = None,
+        fleet: Optional[FleetCaseMeasurement] = None,
     ) -> Dict[str, Any]:
         """Assemble the JSON document for one suite execution.
 
@@ -179,6 +193,7 @@ class BenchRecorder:
         case: requests/second of the discrete-event loop, normalized by
         the same calibration score, gated by
         :func:`compare_to_baseline` alongside the kernel throughput.
+        ``fleet`` adds the pinned sharded fleet case the same way.
         """
         calibration = calibration if calibration is not None else calibration_score()
         aggregate_ips = result.instructions_per_second
@@ -228,6 +243,22 @@ class BenchRecorder:
                     else 0.0
                 ),
                 "component_shares": dict(service.component_shares),
+            }
+        if fleet is not None:
+            record["fleet"] = {
+                "router": fleet.router,
+                "admission": fleet.admission,
+                "variant": fleet.variant,
+                "cache_key": fleet.cache_key,
+                "requests": fleet.requests,
+                "wall_seconds": fleet.wall_seconds,
+                "requests_per_second": fleet.requests_per_second,
+                "normalized_throughput": (
+                    fleet.requests_per_second / calibration
+                    if calibration > 0.0
+                    else 0.0
+                ),
+                "component_shares": dict(fleet.component_shares),
             }
         return record
 
@@ -297,6 +328,13 @@ def _comparability_mismatches(
         baseline_key = baseline_service.get("cache_key")
         if current_key and baseline_key and current_key != baseline_key:
             mismatches.append("service cache key differs (pinned service case changed)")
+    current_fleet = current.get("fleet")
+    baseline_fleet = baseline.get("fleet")
+    if current_fleet and baseline_fleet:
+        current_key = current_fleet.get("cache_key")
+        baseline_key = baseline_fleet.get("cache_key")
+        if current_key and baseline_key and current_key != baseline_key:
+            mismatches.append("fleet cache key differs (pinned fleet case changed)")
     return mismatches
 
 
@@ -312,8 +350,9 @@ def compare_to_baseline(
     taken on machines of different speeds remain comparable; the raw
     ratio is reported alongside for context.  When both records carry
     the pinned enclave-serving case, its normalized requests/second is
-    gated by the same threshold (``service_ratio``); a baseline without
-    one (pre-serving records) gates the kernel alone.
+    gated by the same threshold (``service_ratio``); likewise the
+    pinned fleet case (``fleet_ratio``).  A baseline without either
+    section gates the kernel alone.
 
     Raises:
         ValueError: when the records measured different work — different
@@ -332,19 +371,22 @@ def compare_to_baseline(
     baseline_raw = float(baseline["aggregate"]["instructions_per_second"])
     ratio = current_norm / baseline_norm if baseline_norm > 0.0 else float("inf")
     raw_ratio = current_raw / baseline_raw if baseline_raw > 0.0 else float("inf")
-    service_ratio = None
-    current_service = current.get("service")
-    baseline_service = baseline.get("service")
-    if current_service and baseline_service:
-        current_service_norm = float(current_service["normalized_throughput"])
-        baseline_service_norm = float(baseline_service["normalized_throughput"])
-        service_ratio = (
-            current_service_norm / baseline_service_norm
-            if baseline_service_norm > 0.0
-            else float("inf")
-        )
-    regressed = ratio < (1.0 - max_regression) or (
-        service_ratio is not None and service_ratio < (1.0 - max_regression)
+    def _section_ratio(section_name: str) -> Optional[float]:
+        current_section = current.get(section_name)
+        baseline_section = baseline.get(section_name)
+        if not current_section or not baseline_section:
+            return None
+        baseline_section_norm = float(baseline_section["normalized_throughput"])
+        if baseline_section_norm <= 0.0:
+            return float("inf")
+        return float(current_section["normalized_throughput"]) / baseline_section_norm
+
+    service_ratio = _section_ratio("service")
+    fleet_ratio = _section_ratio("fleet")
+    regressed = (
+        ratio < (1.0 - max_regression)
+        or (service_ratio is not None and service_ratio < (1.0 - max_regression))
+        or (fleet_ratio is not None and fleet_ratio < (1.0 - max_regression))
     )
     return BenchComparison(
         current_normalized=current_norm,
@@ -354,6 +396,7 @@ def compare_to_baseline(
         max_regression=max_regression,
         regressed=regressed,
         service_ratio=service_ratio,
+        fleet_ratio=fleet_ratio,
     )
 
 

@@ -17,19 +17,23 @@ JSON decoding rather than the kernel.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.engine import (
     EvaluationSettings,
+    FleetRunRequest,
     RunRequest,
     ServiceRunRequest,
     evaluation_config,
+    execute_fleet_request,
     request_for,
+    resolve_fleet_cycles,
     resolve_service_cycles,
 )
 from repro.core.serialization import config_digest
 from repro.core.variants import parse_variant
+from repro.fleet.simulation import FleetOutcome
 from repro.perf.profiler import ProfileReport, Profiler, component_shares_of
 from repro.service.simulation import ServiceOutcome, run_service
 
@@ -59,6 +63,30 @@ PINNED_SERVICE_CASE = {
     "num_cores": 4,
     "num_tenants": 6,
     "num_requests": 400,
+    "instructions": 2_000,
+}
+
+#: The pinned fleet case: the deadline admission policy evaluates the
+#: SLO estimate on every arrival and the closed-loop client model keeps
+#: every shard's think-time bookkeeping active, so this one point
+#: exercises routing, admission, per-shard event loops, and the
+#: deterministic merge together.  Parameters are pinned for the same
+#: reason the kernel suite is.
+PINNED_FLEET_CASE = {
+    "policy": "affinity",
+    "spec": "F+P+M+A",
+    "router": "consistent_hash",
+    "admission": "deadline",
+    "client": "closed_loop",
+    "load": 1.2,
+    "load_profile": "poisson",
+    "num_shards": 4,
+    "shard_cores": 2,
+    "num_tenants": 8,
+    "num_requests": 320,
+    "queue_depth": 16,
+    "slo_factor": 8.0,
+    "think_factor": 2.0,
     "instructions": 2_000,
 }
 
@@ -225,6 +253,107 @@ def run_service_case(
         variant=PINNED_SERVICE_CASE["spec"],
         cache_key=request.cache_key(),
         requests=outcome.requests,
+        wall_seconds=wall,
+        outcome=outcome,
+        component_shares=shares,
+    )
+
+
+@dataclass(frozen=True)
+class FleetCaseMeasurement:
+    """Fleet-layer throughput of the pinned sharded-serving case.
+
+    Attributes:
+        router: Routing policy of the pinned case.
+        admission: Admission policy at each shard's bounded queue.
+        variant: Mitigation spec the shards ran on.
+        cache_key: Content-hash identity of the fleet simulation.
+        requests: Fleet-wide request budget the case served.
+        wall_seconds: Wall-clock duration of the fleet layer alone —
+            routing, every shard's event loop, and the deterministic
+            merge (kernel costs are resolved before the clock).
+        outcome: The merged fleet outcome itself (for sanity checks).
+        component_shares: Fraction of fleet CPU time per component
+            (empty unless measured with ``components=True``).
+    """
+
+    router: str
+    admission: str
+    variant: str
+    cache_key: str
+    requests: int
+    wall_seconds: float
+    outcome: FleetOutcome
+    component_shares: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def requests_per_second(self) -> float:
+        """Offered requests per wall-clock second of fleet simulation."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+
+def pinned_fleet_request(seed: int = PINNED_SEED) -> FleetRunRequest:
+    """The fully specified engine request of the pinned fleet case."""
+    case = PINNED_FLEET_CASE
+    return FleetRunRequest(
+        policy=case["policy"],
+        config=evaluation_config(parse_variant(case["spec"]), case["instructions"]),
+        seed=seed,
+        router=case["router"],
+        admission=case["admission"],
+        client=case["client"],
+        load=case["load"],
+        load_profile=case["load_profile"],
+        num_shards=case["num_shards"],
+        shard_cores=case["shard_cores"],
+        num_tenants=case["num_tenants"],
+        num_requests=case["num_requests"],
+        queue_depth=case["queue_depth"],
+        slo_factor=case["slo_factor"],
+        think_factor=case["think_factor"],
+        instructions=case["instructions"],
+    )
+
+
+def run_fleet_case(
+    seed: int = PINNED_SEED, *, components: bool = False
+) -> FleetCaseMeasurement:
+    """Measure the fleet layer on the pinned sharded-serving case.
+
+    The per-benchmark kernel costs are resolved *before* the clock
+    starts (the kernel suite tracks those), so the wall time gates the
+    fleet machinery itself: routing, admission checks, the per-shard
+    discrete-event loops, and the deterministic merge.  Shards run
+    serially here — parallel fan-out would measure pool overhead, not
+    the simulator.
+
+    Args:
+        seed: Fleet seed (pin it unless studying seed noise).
+        components: Also run the fleet once under :mod:`cProfile` and
+            report per-component CPU-time shares.  Throughput is never
+            read off the instrumented run.
+    """
+    request = pinned_fleet_request(seed)
+    cycles = resolve_fleet_cycles(request)
+    priced = replace(request, service_cycles=tuple(sorted(cycles.items())))
+
+    def _fleet() -> FleetOutcome:
+        return execute_fleet_request(priced)
+
+    started = time.perf_counter()
+    outcome = _fleet()
+    wall = time.perf_counter() - started
+    shares: Dict[str, float] = {}
+    if components:
+        shares = component_shares_of(_fleet)
+    return FleetCaseMeasurement(
+        router=request.router,
+        admission=request.admission,
+        variant=PINNED_FLEET_CASE["spec"],
+        cache_key=request.cache_key(),
+        requests=request.num_requests,
         wall_seconds=wall,
         outcome=outcome,
         component_shares=shares,

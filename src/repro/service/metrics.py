@@ -21,6 +21,18 @@ def percentile(sorted_values: Sequence[int], fraction: float) -> int:
     return sorted_values[min(len(sorted_values), max(1, rank)) - 1]
 
 
+def throughput_per_mcycle(completed: int, horizon_cycles: int) -> float:
+    """Completed requests per million cycles (0.0 when nothing ran).
+
+    Saturated or fully-dropped runs can legitimately complete zero
+    requests — and an empty run has no meaningful horizon — so both
+    arguments are guarded rather than trusted to be positive.
+    """
+    if completed <= 0 or horizon_cycles <= 0:
+        return 0.0
+    return completed * 1_000_000 / horizon_cycles
+
+
 def summarize_latencies(latencies: Sequence[int]) -> Dict[str, Any]:
     """p50/p95/p99 plus mean/min/max of request latencies (cycles)."""
     if not latencies:

@@ -46,7 +46,7 @@ from repro.monitor.security_monitor import SecurityMonitor
 from repro.os_model.kernel import UntrustedOS
 from repro.os_model.machine import Machine
 from repro.service.arrivals import generate_arrivals
-from repro.service.metrics import summarize_latencies
+from repro.service.metrics import summarize_latencies, throughput_per_mcycle
 from repro.service.schedulers import QueueView, create_policy
 from repro.workloads.spec_cint2006 import benchmark_names
 
@@ -475,7 +475,7 @@ def run_service(
         num_tenants=num_tenants,
         requests=len(latencies),
         horizon_cycles=horizon,
-        throughput_rpmc=len(latencies) * 1_000_000 / horizon,
+        throughput_rpmc=throughput_per_mcycle(len(latencies), horizon),
         latency=summarize_latencies(latencies),
         utilization=busy_total / (num_cores * horizon),
         switches=switches,
