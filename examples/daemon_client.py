@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Talk to a running repro daemon: sync sweep, async job, health.
+
+Start the daemon in another terminal first::
+
+    PYTHONPATH=src python -m repro serve --daemon --port 8642
+
+Then run this script.  It exercises the whole HTTP/JSON surface through
+:class:`repro.daemon.DaemonClient`:
+
+* a synchronous sweep (``POST /v1/run``) — the decoded
+  :class:`~repro.api.Result` supports exactly the accessors a local
+  ``session.run`` result does, because both sides speak the same wire
+  envelope;
+* the same sweep resubmitted — served warm from the daemon's store,
+  zero new simulations (watch the health counters);
+* an asynchronous scenario run (``POST /v1/run?mode=async`` +
+  ``GET /v1/jobs/<id>``) with live progress;
+* the health and registry documents.
+
+Usage::
+
+    python examples/daemon_client.py [host:port]
+"""
+
+import sys
+
+from repro.api.requests import ScenarioRequest, SweepRequest
+from repro.daemon import DaemonClient, DaemonError
+
+
+def main() -> int:
+    address = sys.argv[1] if len(sys.argv) > 1 else "127.0.0.1:8642"
+    client = DaemonClient(address)
+
+    try:
+        health = client.health()
+    except DaemonError as error:
+        print(error, file=sys.stderr)
+        print(
+            "start one with: PYTHONPATH=src python -m repro serve --daemon",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"daemon at {address}: {health['status']}, wire v{health['wire_version']}")
+
+    registries = client.registries()
+    print(
+        f"registries: {len(registries['mitigations'])} mitigations, "
+        f"{len(registries['benchmarks'])} benchmarks, "
+        f"{len(registries['scenarios'])} scenarios"
+    )
+
+    sweep = SweepRequest(
+        variants=("BASE", "F+P+M+A"), benchmarks=("gcc",), seeds=(2019,),
+        instructions=5_000,
+    )
+    result = client.run(sweep)
+    overhead = result.overhead_percent("F+P+M+A", "gcc", 2019)
+    print(f"\nsweep over HTTP: F+P+M+A overhead on gcc = {overhead:.1f}%")
+    for entry in result:
+        print(f"  {entry.key}: {entry.value.cycles} cycles ({entry.provenance.origin})")
+
+    before = client.health()["store"]["misses"]
+    client.run(sweep)
+    after = client.health()["store"]["misses"]
+    print(f"resubmitted: {after - before} new simulations (warm from the daemon's store)")
+
+    job_id = client.submit(ScenarioRequest(scenarios=("prime_probe",)))
+    print(f"\nasync scenario run enqueued as {job_id}")
+    snapshot = client.wait(job_id)
+    print(f"  {job_id}: {snapshot['status']}, progress {snapshot['progress']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,12 +74,12 @@ from repro.service.simulation import (
     tenant_benchmarks,
 )
 from repro.core.simulator import DEFAULT_SEED, Simulator
+from repro.core.mitigations import config_for_spec
 from repro.core.variants import (
     Variant,
     VariantLike,
     all_variants,
     as_spec,
-    config_for_variant,
     spec_name,
 )
 from repro.analysis.store import ResultStore
@@ -185,7 +185,7 @@ def evaluation_config(variant: VariantLike, instructions: int) -> MI6Config:
     base = MI6Config(
         trap_interval_instructions=max(MIN_TRAP_INTERVAL, instructions // 2)
     )
-    return config_for_variant(variant, base)
+    return config_for_spec(variant, base)
 
 
 @dataclass(frozen=True)
@@ -398,7 +398,7 @@ class ScenarioSpec:
         return [
             ScenarioRequest(
                 scenario=scenario,
-                config=config_for_variant(variant),
+                config=config_for_spec(variant),
                 seed=seed,
                 num_cores=self.num_cores,
             )

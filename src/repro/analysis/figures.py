@@ -22,8 +22,8 @@ from repro.analysis.harness import (
 from repro.analysis.store import ResultStore
 from repro.api.requests import FleetRequest, ScenarioRequest, ServiceRequest
 from repro.api.session import coerce_session
-from repro.core.mitigations import VariantLike
-from repro.core.variants import Variant, config_for_variant
+from repro.core.mitigations import VariantLike, config_for_spec
+from repro.core.variants import Variant
 from repro.service.simulation import (
     DEFAULT_SERVICE_CORES,
     DEFAULT_SERVICE_INSTRUCTIONS,
@@ -43,7 +43,7 @@ def _paper_series(field: str) -> Dict[str, float]:
 
 def figure04_configuration() -> str:
     """Figure 4: the BASE configuration table."""
-    return config_for_variant(Variant.BASE).describe()
+    return config_for_spec(Variant.BASE).describe()
 
 
 def figure05_flush_overhead(

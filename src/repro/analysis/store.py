@@ -16,18 +16,35 @@ Keys are the content hashes produced by
 machine configuration and all workload parameters, so any configuration
 change automatically misses the cache rather than returning stale
 numbers.  Set ``REPRO_CACHE=off`` to disable the disk layer entirely.
+
+The disk layer is safe for concurrent multi-process use (daemon handler
+threads, ``ParallelRunner`` workers, and independent CLI invocations
+sharing one cache directory): every write goes through a temp file +
+``os.replace`` (readers never see a torn entry), writers to the same
+entry serialise on a per-entry ``fcntl`` advisory lock, and a reader
+that still finds an unparseable file retries once under that lock
+before treating it as a miss (logged once per store) and dropping it.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+try:  # pragma: no cover - fcntl is present on every POSIX build
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback: atomic writes only
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.processor import WorkloadRun
 from repro.core.serialization import SCHEMA_VERSION, run_from_dict, run_to_dict
+
+_LOGGER = logging.getLogger("repro.store")
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
@@ -56,6 +73,7 @@ class ResultStore:
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self._corruption_logged = False
 
     @classmethod
     def in_memory(cls) -> ResultStore:
@@ -85,19 +103,15 @@ class ResultStore:
             return run
         if self.directory is not None:
             path = self._path_for(key)
-            try:
-                payload = json.loads(path.read_text())
-                run = run_from_dict(payload["run"])
-            except FileNotFoundError:
-                run = None
-            except (OSError, ValueError, KeyError, TypeError):
-                # Corrupt or incompatible entry: treat as a miss and drop
-                # it so the next put() rewrites a clean file.
-                run = None
+            document = self._read_document(path)
+            run = None
+            if document is not None:
                 try:
-                    path.unlink()
-                except OSError:
-                    pass
+                    run = run_from_dict(document["run"])
+                except (ValueError, KeyError, TypeError):
+                    # Parseable JSON but not a run document of this
+                    # schema: drop it so the next put() rewrites cleanly.
+                    self._drop_corrupt(path)
             if run is not None:
                 self._memory[key] = run
                 self.disk_hits += 1
@@ -110,7 +124,71 @@ class ResultStore:
         self._memory[key] = run
         if self.directory is None:
             return
-        self._write_json(self._path_for(key), {"key": key, "run": run_to_dict(run)})
+        path = self._path_for(key)
+        with self._entry_lock(path):
+            self._write_json(path, {"key": key, "run": run_to_dict(run)})
+
+    # ------------------------------------------------------------------
+    # Concurrency-safe disk primitives
+
+    @contextmanager
+    def _entry_lock(self, path: Path) -> Iterator[None]:
+        """Per-entry advisory lock serialising writers (POSIX ``fcntl``).
+
+        Writes are already atomic (temp file + ``os.replace``), so the
+        lock's job is ordering: two processes racing to persist the same
+        key produce one replace after the other instead of interleaved
+        temp-file churn, and a read retry can wait out an in-flight
+        writer.  Without ``fcntl`` (non-POSIX) this degrades to the
+        atomic-rename guarantee alone.
+        """
+        if self.directory is None or fcntl is None:
+            yield
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock_path = self.directory / f".lock-{path.stem}"
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _read_document(self, path: Path) -> Optional[Dict]:
+        """Parse one entry file; unparseable entries become misses.
+
+        A parse failure is retried once under the entry lock (waiting
+        out any in-flight writer) before the file is declared corrupt,
+        logged once per store, and unlinked so the next put() rewrites
+        a clean entry.
+        """
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            pass
+        with self._entry_lock(path):
+            try:
+                return json.loads(path.read_text())
+            except FileNotFoundError:
+                return None
+            except (OSError, ValueError):
+                self._drop_corrupt(path)
+                return None
+
+    def _drop_corrupt(self, path: Path) -> None:
+        if not self._corruption_logged:
+            self._corruption_logged = True
+            _LOGGER.warning(
+                "dropping unreadable cache entry %s (treating as a miss; "
+                "further drops by this store are not logged)",
+                path,
+            )
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def _write_json(self, path: Path, payload: Dict) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -152,16 +230,13 @@ class ResultStore:
             return payload
         if self.directory is not None:
             path = self._payload_path(kind, key)
-            try:
-                payload = json.loads(path.read_text())["payload"]
-            except FileNotFoundError:
-                payload = None
-            except (OSError, ValueError, KeyError, TypeError):
-                payload = None
+            document = self._read_document(path)
+            payload = None
+            if document is not None:
                 try:
-                    path.unlink()
-                except OSError:
-                    pass
+                    payload = document["payload"]
+                except (KeyError, TypeError):
+                    self._drop_corrupt(path)
             if payload is not None:
                 self._payload_memory[(kind, key)] = payload
                 self.disk_hits += 1
@@ -174,12 +249,44 @@ class ResultStore:
         self._payload_memory[(kind, key)] = payload
         if self.directory is None:
             return
-        self._write_json(
-            self._payload_path(kind, key), {"kind": kind, "key": key, "payload": payload}
-        )
+        path = self._payload_path(kind, key)
+        with self._entry_lock(path):
+            self._write_json(
+                path, {"kind": kind, "key": key, "payload": payload}
+            )
 
     # ------------------------------------------------------------------
-    # Maintenance
+    # Introspection / maintenance
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter and entry-count snapshot (the daemon's health surface).
+
+        Hit counters cover this store instance's lifetime; the disk
+        entry counts cover the directory, which other processes may
+        share.
+        """
+        lookups = self.memory_hits + self.disk_hits + self.misses
+        disk_entries: Dict[str, int] = {}
+        if self.directory is not None and self.directory.is_dir():
+            marker = f"-v{SCHEMA_VERSION}-"
+            for path in sorted(self.directory.glob(f"*{marker}*.json")):
+                if path.name.startswith("."):
+                    continue  # in-flight temp files from _write_json
+                kind = path.name.split(marker)[0]
+                disk_entries[kind] = disk_entries.get(kind, 0) + 1
+        return {
+            "directory": str(self.directory) if self.directory is not None else None,
+            "schema_version": SCHEMA_VERSION,
+            "memory_runs": len(self._memory),
+            "memory_documents": len(self._payload_memory),
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "hit_rate": (
+                (self.memory_hits + self.disk_hits) / lookups if lookups else None
+            ),
+            "disk_entries": disk_entries,
+        }
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
@@ -193,6 +300,11 @@ class ResultStore:
         for path in self.directory.glob(f"*-v{SCHEMA_VERSION}-*.json"):
             if path.name.startswith("."):
                 continue  # in-flight temp files from _write_json
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for path in self.directory.glob(".lock-*"):
             try:
                 path.unlink()
             except OSError:

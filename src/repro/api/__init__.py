@@ -18,7 +18,10 @@ The one front door every consumer goes through:
   uniform result envelope (content-hash cache key, schema version,
   cold/warm origin, wall time);
 * :func:`default_session` / :func:`set_default_session` — the shared
-  process-wide session the figure functions and harness route through.
+  process-wide session the figure functions and harness route through;
+* the wire codec — ``request.to_wire()`` / :func:`request_from_wire`
+  and :func:`result_to_wire` / :func:`result_from_wire` — the versioned
+  JSON documents the daemon's HTTP API and the CLI speak.
 
 Variant arguments everywhere accept the composable mitigation vocabulary
 of :mod:`repro.core.mitigations`: ``"BASE"``, ``"FLUSH"``,
@@ -27,14 +30,23 @@ member, or a :class:`~repro.core.mitigations.MitigationSet`.
 """
 
 from repro.api.requests import (
+    WIRE_VERSION,
     FleetRequest,
     Request,
     ScenarioRequest,
     ServiceRequest,
     SweepRequest,
+    WireError,
     WorkloadRequest,
+    request_from_wire,
 )
-from repro.api.results import Provenance, Result, ResultEntry
+from repro.api.results import (
+    Provenance,
+    Result,
+    ResultEntry,
+    result_from_wire,
+    result_to_wire,
+)
 from repro.api.session import (
     Session,
     coerce_session,
@@ -43,6 +55,7 @@ from repro.api.session import (
 )
 
 __all__ = [
+    "WIRE_VERSION",
     "FleetRequest",
     "Provenance",
     "Request",
@@ -52,8 +65,12 @@ __all__ = [
     "ServiceRequest",
     "Session",
     "SweepRequest",
+    "WireError",
     "WorkloadRequest",
     "coerce_session",
     "default_session",
+    "request_from_wire",
+    "result_from_wire",
+    "result_to_wire",
     "set_default_session",
 ]

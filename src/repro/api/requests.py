@@ -22,12 +22,22 @@ content-hash cache keys live.  Variant fields accept anything
 :data:`~repro.core.mitigations.VariantLike`: legacy enum members,
 composed :class:`~repro.core.mitigations.MitigationSet` values, or spec
 strings such as ``"FLUSH+MISS"``.
+
+Every request also speaks the **wire format**: ``to_wire()`` produces a
+versioned, JSON-serialisable document and :func:`request_from_wire`
+turns such a document back into the typed request.  The CLI, the
+daemon's HTTP API, and tests all build requests through this one path,
+so a request is the same object whether it was typed in Python, parsed
+from argv, or POSTed over the network.  Variant values are canonicalised
+to spec strings on encode (``spec_name``), so a round trip through the
+wire is exact for canonically spelled requests and cache-key-identical
+for enum or :class:`MitigationSet` spellings.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Any, ClassVar, Dict, Optional, Sequence, Union
 
 from repro.analysis.engine import (
     DEFAULT_FLEET_ADMISSION,
@@ -47,7 +57,8 @@ from repro.analysis.engine import (
 )
 from repro.analysis.engine import ScenarioRequest as EngineScenarioRequest
 from repro.core.config import MI6Config
-from repro.core.mitigations import VariantLike
+from repro.core.mitigations import VariantLike, spec_name
+from repro.core.serialization import config_from_dict, config_to_dict
 from repro.fleet.simulation import (
     DEFAULT_FLEET_SHARDS,
     DEFAULT_MEASUREMENT_CYCLES_PER_PAGE,
@@ -62,6 +73,121 @@ from repro.service.simulation import (
     DEFAULT_SERVICE_REQUESTS,
     DEFAULT_SERVICE_TENANTS,
 )
+
+
+#: Version stamped into (and demanded from) every wire document.  Bump
+#: it whenever a request field changes shape or meaning; a daemon and a
+#: client disagreeing on the version fail loudly instead of silently
+#: reinterpreting fields.
+WIRE_VERSION = 1
+
+#: Request fields holding sequences; wire documents carry them as JSON
+#: arrays and decoding restores the canonical tuple spelling.
+_SEQUENCE_FIELDS = frozenset(
+    {"variants", "benchmarks", "seeds", "scenarios", "policies", "loads"}
+)
+
+#: The keys every request wire document must carry — exactly these.
+_WIRE_KEYS = frozenset({"wire_version", "kind", "fields"})
+
+
+class WireError(ValueError):
+    """A wire document is malformed, unknown, or version-incompatible."""
+
+
+def _encode_field(name: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if name == "variant":
+        return spec_name(value)
+    if name == "variants":
+        return [spec_name(variant) for variant in value]
+    if name == "config":
+        return config_to_dict(value)
+    if name in _SEQUENCE_FIELDS:
+        return list(value)
+    return value
+
+
+def _decode_field(name: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if name == "variant":
+        spec_name(value)  # validation only: reject malformed specs early
+        return value if isinstance(value, str) else spec_name(value)
+    if name == "variants":
+        return tuple(_decode_field("variant", variant) for variant in value)
+    if name == "config":
+        return config_from_dict(value)
+    if name in _SEQUENCE_FIELDS:
+        return tuple(value)
+    return value
+
+
+def _request_to_wire(request: "Request") -> Dict[str, Any]:
+    document_fields = {
+        field.name: _encode_field(field.name, getattr(request, field.name))
+        for field in dataclass_fields(request)
+    }
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": request.wire_kind,
+        "fields": document_fields,
+    }
+
+
+def request_from_wire(document: Any) -> "Request":
+    """Decode a wire document into the typed request it names.
+
+    The inverse of ``Request.to_wire()``.  Strict by design — unknown
+    top-level keys, unknown request kinds, unknown fields, and any
+    ``wire_version`` other than :data:`WIRE_VERSION` are
+    :class:`WireError`\\ s, so a client/daemon skew can never silently
+    drop or reinterpret a parameter.
+    """
+    if not isinstance(document, dict):
+        raise WireError(
+            f"wire document must be a JSON object, got {type(document).__name__}"
+        )
+    unknown_keys = sorted(set(document) - _WIRE_KEYS)
+    if unknown_keys:
+        raise WireError(f"unknown wire document key(s): {', '.join(unknown_keys)}")
+    missing_keys = sorted(_WIRE_KEYS - set(document))
+    if missing_keys:
+        raise WireError(f"wire document missing key(s): {', '.join(missing_keys)}")
+    version = document["wire_version"]
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: document speaks {version!r}, "
+            f"this build speaks {WIRE_VERSION}"
+        )
+    kind = document["kind"]
+    request_type = _WIRE_KINDS.get(kind)
+    if request_type is None:
+        raise WireError(
+            f"unknown request kind {kind!r} (expected one of: "
+            f"{', '.join(_WIRE_KINDS)})"
+        )
+    wire_fields = document["fields"]
+    if not isinstance(wire_fields, dict):
+        raise WireError(
+            f"wire 'fields' must be a JSON object, got {type(wire_fields).__name__}"
+        )
+    known = {field.name for field in dataclass_fields(request_type)}
+    unknown_fields = sorted(set(wire_fields) - known)
+    if unknown_fields:
+        raise WireError(
+            f"unknown field(s) for {kind!r} request: {', '.join(unknown_fields)}"
+        )
+    decoded: Dict[str, Any] = {}
+    for name, value in wire_fields.items():
+        try:
+            decoded[name] = _decode_field(name, value)
+        except (TypeError, ValueError, KeyError) as error:
+            raise WireError(
+                f"bad value for {kind!r} field {name!r}: {error}"
+            ) from error
+    return request_type(**decoded)
 
 
 @dataclass(frozen=True)
@@ -79,12 +205,18 @@ class WorkloadRequest:
             outside the mitigation lattice entirely.
     """
 
+    wire_kind: ClassVar[str] = "workload"
+
     variant: VariantLike = "BASE"
     benchmark: str = "gcc"
     instructions: Optional[int] = None
     seed: Optional[int] = None
     warm_up: bool = True
     config: Optional[MI6Config] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Versioned JSON-serialisable document for this request."""
+        return _request_to_wire(self)
 
     def resolve(self, settings: EvaluationSettings) -> RunRequest:
         """Lower onto the engine's fully-specified run request."""
@@ -119,10 +251,16 @@ class SweepRequest:
     empty ``SweepRequest()`` is the Figure 13 evaluation.
     """
 
+    wire_kind: ClassVar[str] = "sweep"
+
     variants: Optional[Sequence[VariantLike]] = None
     benchmarks: Optional[Sequence[str]] = None
     seeds: Optional[Sequence[int]] = None
     instructions: Optional[int] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Versioned JSON-serialisable document for this request."""
+        return _request_to_wire(self)
 
     def resolve(self, settings: EvaluationSettings) -> ExperimentSpec:
         """Lower onto the engine's experiment spec."""
@@ -148,10 +286,16 @@ class ScenarioRequest:
     host bystander domains per the placement policy).
     """
 
+    wire_kind: ClassVar[str] = "scenario"
+
     scenarios: Optional[Sequence[str]] = None
     variants: Optional[Sequence[VariantLike]] = None
     seeds: Optional[Sequence[int]] = None
     num_cores: int = 2
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Versioned JSON-serialisable document for this request."""
+        return _request_to_wire(self)
 
     def resolve(self, settings: EvaluationSettings) -> ScenarioSpec:
         """Lower onto the engine's scenario spec."""
@@ -175,6 +319,8 @@ class ServiceRequest:
     grid so the sweep isolates the scheduling/mitigation/load axes.
     """
 
+    wire_kind: ClassVar[str] = "service"
+
     policies: Optional[Sequence[str]] = None
     variants: Optional[Sequence[VariantLike]] = None
     loads: Optional[Sequence[float]] = None
@@ -185,6 +331,10 @@ class ServiceRequest:
     requests: int = DEFAULT_SERVICE_REQUESTS
     instructions: int = DEFAULT_SERVICE_INSTRUCTIONS
     churn_every: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Versioned JSON-serialisable document for this request."""
+        return _request_to_wire(self)
 
     def resolve(self, settings: EvaluationSettings) -> ServiceSpec:
         """Lower onto the engine's serving spec."""
@@ -217,6 +367,8 @@ class FleetRequest:
     and measurement knobs extend churn costing with teardown charges.
     """
 
+    wire_kind: ClassVar[str] = "fleet"
+
     variants: Optional[Sequence[VariantLike]] = None
     loads: Optional[Sequence[float]] = None
     seeds: Optional[Sequence[int]] = None
@@ -236,6 +388,10 @@ class FleetRequest:
     churn_every: int = 0
     dram_wipe_bytes_per_cycle: int = DEFAULT_WIPE_BYTES_PER_CYCLE
     measurement_cycles_per_page: int = DEFAULT_MEASUREMENT_CYCLES_PER_PAGE
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Versioned JSON-serialisable document for this request."""
+        return _request_to_wire(self)
 
     def resolve(self, settings: EvaluationSettings) -> FleetSpec:
         """Lower onto the engine's fleet spec."""
@@ -267,6 +423,15 @@ Request = Union[
     WorkloadRequest, SweepRequest, ScenarioRequest, ServiceRequest, FleetRequest
 ]
 
+#: Wire kind tag -> request type, in declaration order.
+_WIRE_KINDS: Dict[str, Any] = {
+    WorkloadRequest.wire_kind: WorkloadRequest,
+    SweepRequest.wire_kind: SweepRequest,
+    ScenarioRequest.wire_kind: ScenarioRequest,
+    ServiceRequest.wire_kind: ServiceRequest,
+    FleetRequest.wire_kind: FleetRequest,
+}
+
 __all__ = [
     "EngineScenarioRequest",
     "FleetRequest",
@@ -274,5 +439,8 @@ __all__ = [
     "ScenarioRequest",
     "ServiceRequest",
     "SweepRequest",
+    "WIRE_VERSION",
+    "WireError",
     "WorkloadRequest",
+    "request_from_wire",
 ]

@@ -10,6 +10,14 @@ under, the serialization schema version, and whether it was simulated
 this call (``cold``) or served from the result store (``warm``).  The
 envelope records the wall time of the whole request, so callers can see
 what a warm-start actually saved.
+
+The envelope also speaks the wire format: :func:`result_to_wire`
+flattens a :class:`Result` into the versioned JSON document the daemon
+answers ``POST /v1/run`` with, and :func:`result_from_wire` rebuilds the
+typed envelope (values, provenance, and — for sweeps — the indexed
+overhead accessors) on the client side.  Everything but the wall time is
+a pure function of the request, so the same request answered locally and
+over the network produces byte-identical documents modulo that field.
 """
 
 from __future__ import annotations
@@ -17,10 +25,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.analysis.engine import ExperimentResult
+from repro.analysis.engine import EvaluationSettings, ExperimentResult
+from repro.api.requests import (
+    WIRE_VERSION,
+    SweepRequest,
+    WireError,
+    request_from_wire,
+)
 from repro.attacks.scenarios import ScenarioOutcome
 from repro.core.mitigations import VariantLike, spec_name
 from repro.core.processor import WorkloadRun
+from repro.core.serialization import run_from_dict, run_to_dict
 from repro.fleet.simulation import FleetOutcome
 from repro.service.simulation import ServiceOutcome
 
@@ -201,3 +216,153 @@ class Result:
             for entry in self.entries
             if isinstance(entry.value, FleetOutcome)
         ]
+
+
+# ----------------------------------------------------------------------
+# Wire codec: Result <-> versioned JSON document
+
+#: Wire tag -> (value type, encoder, decoder) for every entry kind the
+#: envelope can carry.  Declaration order is the dispatch order.
+_VALUE_CODECS: Dict[str, Tuple[type, Any, Any]] = {
+    "run": (WorkloadRun, run_to_dict, run_from_dict),
+    "scenario": (ScenarioOutcome, ScenarioOutcome.to_dict, ScenarioOutcome.from_dict),
+    "service": (ServiceOutcome, ServiceOutcome.to_dict, ServiceOutcome.from_dict),
+    "fleet": (FleetOutcome, FleetOutcome.to_dict, FleetOutcome.from_dict),
+}
+
+#: The keys every result wire document must carry — exactly these.
+_RESULT_WIRE_KEYS = frozenset(
+    {"wire_version", "request", "entries", "wall_time_seconds"}
+)
+
+
+def _value_to_wire(value: Any) -> Dict[str, Any]:
+    for tag, (value_type, encode, _) in _VALUE_CODECS.items():
+        if isinstance(value, value_type):
+            return {"kind": tag, "data": encode(value)}
+    raise WireError(f"cannot encode result value of type {type(value).__name__}")
+
+
+def _value_from_wire(document: Any) -> Any:
+    if not isinstance(document, dict) or set(document) != {"kind", "data"}:
+        raise WireError("entry value must be a {kind, data} object")
+    tag = document["kind"]
+    if tag not in _VALUE_CODECS:
+        raise WireError(
+            f"unknown entry value kind {tag!r} "
+            f"(expected one of: {', '.join(_VALUE_CODECS)})"
+        )
+    _, _, decode = _VALUE_CODECS[tag]
+    try:
+        return decode(document["data"])
+    except (TypeError, ValueError, KeyError) as error:
+        raise WireError(f"bad {tag!r} entry value: {error}") from error
+
+
+def result_to_wire(result: Result) -> Dict[str, Any]:
+    """Flatten a result envelope into its versioned wire document.
+
+    The document is what the daemon answers ``POST /v1/run`` with;
+    everything except ``wall_time_seconds`` is a pure function of the
+    request, so local and remote answers to the same request are
+    byte-identical modulo that one field.
+    """
+    to_wire = getattr(result.request, "to_wire", None)
+    if to_wire is None:
+        raise WireError(
+            f"result request of type {type(result.request).__name__} has no "
+            "wire form; only typed session requests travel the wire"
+        )
+    return {
+        "wire_version": WIRE_VERSION,
+        "request": to_wire(),
+        "entries": [
+            {
+                "key": list(entry.key),
+                "value": _value_to_wire(entry.value),
+                "provenance": {
+                    "cache_key": entry.provenance.cache_key,
+                    "schema_version": entry.provenance.schema_version,
+                    "origin": entry.provenance.origin,
+                    "purge": entry.provenance.purge,
+                },
+            }
+            for entry in result.entries
+        ],
+        "wall_time_seconds": result.wall_time_seconds,
+    }
+
+
+def result_from_wire(
+    document: Any, *, settings: Optional[EvaluationSettings] = None
+) -> Result:
+    """Rebuild a typed result envelope from its wire document.
+
+    For sweep requests the indexed :class:`ExperimentResult` (overhead
+    accessors) is reconstructed by re-expanding the request against
+    ``settings`` (environment defaults if omitted) — the expansion is
+    deterministic, so the decoded runs line up with the re-derived
+    engine requests cell for cell.
+    """
+    if not isinstance(document, dict):
+        raise WireError(
+            f"result document must be a JSON object, got {type(document).__name__}"
+        )
+    unknown_keys = sorted(set(document) - _RESULT_WIRE_KEYS)
+    if unknown_keys:
+        raise WireError(f"unknown result document key(s): {', '.join(unknown_keys)}")
+    missing_keys = sorted(_RESULT_WIRE_KEYS - set(document))
+    if missing_keys:
+        raise WireError(f"result document missing key(s): {', '.join(missing_keys)}")
+    version = document["wire_version"]
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: document speaks {version!r}, "
+            f"this build speaks {WIRE_VERSION}"
+        )
+    request = request_from_wire(document["request"])
+    entries: List[ResultEntry] = []
+    for row in document["entries"]:
+        if not isinstance(row, dict) or set(row) != {"key", "value", "provenance"}:
+            raise WireError("result entry must be a {key, value, provenance} object")
+        provenance_fields = row["provenance"]
+        if not isinstance(provenance_fields, dict) or sorted(provenance_fields) != [
+            "cache_key",
+            "origin",
+            "purge",
+            "schema_version",
+        ]:
+            raise WireError(
+                "entry provenance must carry exactly cache_key, origin, purge, "
+                "and schema_version"
+            )
+        entries.append(
+            ResultEntry(
+                key=tuple(row["key"]),
+                value=_value_from_wire(row["value"]),
+                provenance=Provenance(
+                    cache_key=provenance_fields["cache_key"],
+                    schema_version=provenance_fields["schema_version"],
+                    origin=provenance_fields["origin"],
+                    purge=provenance_fields["purge"],
+                ),
+            )
+        )
+    sweep: Optional[ExperimentResult] = None
+    if isinstance(request, SweepRequest):
+        resolved = request.resolve(
+            settings if settings is not None else EvaluationSettings.from_environment()
+        )
+        engine_requests = resolved.requests()
+        if len(engine_requests) == len(entries):
+            sweep = ExperimentResult(
+                spec=resolved,
+                requests=engine_requests,
+                runs=[entry.value for entry in entries],
+            )
+    return Result(
+        request=request,
+        entries=entries,
+        wall_time_seconds=document["wall_time_seconds"],
+        sweep=sweep,
+    )

@@ -13,6 +13,8 @@ Examples::
     repro-bench serve
     repro-bench serve --policy fifo batch --load 0.6 0.9 --profile bursty
     repro-bench serve --variants BASE F+P+M+A --num-cores 8 --tenants 12 --json
+    repro-bench serve --daemon --port 8642
+    repro-bench sweep --remote 127.0.0.1:8642 --benchmarks gcc --json
     repro-bench fleet
     repro-bench fleet --shards 8 --router least_loaded --admission deadline
     repro-bench fleet --load 0.4 0.8 1.2 1.6 --queue-depth 16 --json
@@ -28,6 +30,12 @@ persistent result store (``.repro_cache/`` by default) and repeating an
 invocation is warm-start: the cache summary line at the end reports how
 many runs were actually simulated.  Use ``--no-cache`` for a memory-only
 store or ``--cache-dir`` to relocate it.
+
+Every sweep/attack/serve/fleet invocation builds its request through the
+wire codec (args -> wire document -> typed request), the same documents
+``repro-bench serve --daemon`` accepts over HTTP — so ``--remote <addr>``
+sends the identical request to a running daemon and decodes the identical
+result envelope.
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.analysis import figures
 from repro.analysis.engine import EvaluationSettings
@@ -56,17 +64,18 @@ from repro.analysis.report import (
 )
 from repro.analysis.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.api import (
-    FleetRequest,
-    ScenarioRequest,
-    ServiceRequest,
+    WIRE_VERSION,
+    Request,
+    Result,
     Session,
-    SweepRequest,
+    WireError,
+    request_from_wire,
     set_default_session,
 )
 from repro.attacks.scenarios import scenario_names
 from repro.common.errors import ConfigurationError
 from repro.core.mitigations import known_compositions, known_mitigations
-from repro.core.variants import parse_variant
+from repro.daemon import DEFAULT_HOST, DEFAULT_PORT, DaemonClient, DaemonError, serve_daemon
 from repro.fleet.simulation import (
     DEFAULT_FLEET_SHARDS,
     DEFAULT_MEASUREMENT_CYCLES_PER_PAGE,
@@ -208,11 +217,62 @@ def _settings(args: argparse.Namespace) -> EvaluationSettings:
     return settings
 
 
-def _parse_variants(texts: Optional[Sequence[str]]) -> Optional[List]:
-    """Parse ``--variants`` values (None passes the defaults through)."""
-    if not texts:
-        return None
-    return [parse_variant(text) for text in texts]
+def _wire_request(kind: str, **fields: Any) -> Request:
+    """Build a typed request through the wire codec.
+
+    The one args->request path: CLI flag values become a wire document
+    (``None`` values are omitted so request defaults apply) and the
+    document is decoded exactly as the daemon decodes an HTTP body —
+    including variant-spec validation, which surfaces as
+    :class:`WireError` with the registry's own message.
+    """
+    return request_from_wire(
+        {
+            "wire_version": WIRE_VERSION,
+            "kind": kind,
+            "fields": {
+                name: value for name, value in fields.items() if value is not None
+            },
+        }
+    )
+
+
+def _execute(
+    args: argparse.Namespace, request: Request, settings: EvaluationSettings
+) -> tuple[Result, Optional[Session]]:
+    """Run a request locally, or remotely when ``--remote`` is set.
+
+    Returns the result and the local session (``None`` in remote mode —
+    the cache counters live in the daemon's store, reported by its
+    health endpoint rather than a local summary line).
+    """
+    if getattr(args, "remote", None):
+        client = DaemonClient(args.remote)
+        return client.run(request, settings=settings), None
+    session = _build_session(args)
+    return session.run(request), session
+
+
+def _print_run_summary(
+    args: argparse.Namespace,
+    session: Optional[Session],
+    wall_time: Optional[float] = None,
+) -> None:
+    if session is None:
+        print()
+        print(f"remote: {args.remote}")
+    else:
+        _print_cache_summary(session, wall_time)
+
+
+def _summary_dict(
+    args: argparse.Namespace,
+    session: Optional[Session],
+    wall_time: Optional[float] = None,
+) -> Dict:
+    if session is None:
+        return {"remote": args.remote}
+    return _cache_summary_dict(session, wall_time)
 
 
 def _command_figure(args: argparse.Namespace) -> int:
@@ -240,11 +300,6 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    try:
-        variants = _parse_variants(args.variants)
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
     known = set(benchmark_names())
     unknown = [name for name in args.benchmarks or [] if name not in known]
     if unknown:
@@ -254,16 +309,23 @@ def _command_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    session = _build_session(args)
     settings = _settings(args)
-    result = session.run(
-        SweepRequest(
-            variants=variants,
+    try:
+        request = _wire_request(
+            "sweep",
+            variants=args.variants or None,
             benchmarks=args.benchmarks or None,
             seeds=args.seeds or [settings.seed],
             instructions=settings.instructions,
         )
-    )
+    except WireError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        result, session = _execute(args, request, settings)
+    except DaemonError as error:
+        print(str(error), file=sys.stderr)
+        return 1
 
     if args.json:
         entries = []
@@ -286,7 +348,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 {
                     "command": "sweep",
                     "entries": entries,
-                    "cache": _cache_summary_dict(session, result.wall_time_seconds),
+                    "cache": _summary_dict(args, session, result.wall_time_seconds),
                 },
                 indent=2,
                 sort_keys=True,
@@ -324,7 +386,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 overhead = result.overhead_percent(variant_name, benchmark, seed)
                 row += f" {overhead:>12.2f}"
         print(row)
-    _print_cache_summary(session, result.wall_time_seconds)
+    _print_run_summary(args, session, result.wall_time_seconds)
     return 0
 
 
@@ -342,27 +404,28 @@ def _command_attack(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    try:
-        variants = _parse_variants(args.variants)
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    session = _build_session(args)
     settings = _settings(args)
     try:
-        result = session.run(
-            ScenarioRequest(
-                scenarios=names,
-                variants=variants,
-                seeds=args.seeds or [settings.seed],
-                num_cores=args.num_cores,
-            )
+        request = _wire_request(
+            "scenario",
+            scenarios=names,
+            variants=args.variants or None,
+            seeds=args.seeds or [settings.seed],
+            num_cores=args.num_cores,
         )
+    except WireError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        result, session = _execute(args, request, settings)
     except (ValueError, ConfigurationError) as error:
         # ConfigurationError covers machine-size limits discovered at
         # assembly time (bystander regions, the Section 5.2 MSHR bound).
         print(str(error), file=sys.stderr)
         return 2
+    except DaemonError as error:
+        print(str(error), file=sys.stderr)
+        return 1
 
     if args.json:
         entries = []
@@ -387,7 +450,7 @@ def _command_attack(args: argparse.Namespace) -> int:
                 {
                     "command": "attack",
                     "entries": entries,
-                    "cache": _cache_summary_dict(session, result.wall_time_seconds),
+                    "cache": _summary_dict(args, session, result.wall_time_seconds),
                 },
                 indent=2,
                 sort_keys=True,
@@ -419,41 +482,49 @@ def _command_attack(args: argparse.Namespace) -> int:
     print()
     rows = figures.aggregate_leakage_rows(result.outcomes)
     print(format_security_table(figures.SECURITY_TABLE_TITLE, rows))
-    _print_cache_summary(session, result.wall_time_seconds)
+    _print_run_summary(args, session, result.wall_time_seconds)
     return 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.daemon:
+        # Long-running mode: host this session behind the HTTP/JSON API
+        # until SIGTERM/SIGINT.  All other serve flags still shape the
+        # session (cache dir, jobs, seed).
+        session = _build_session(args)
+        serve_daemon(session, host=args.host, port=args.port)
+        return 0
     # Policy names, the load profile, and the numeric parameters are
     # validated by ServiceSpec.create; its ValueError lands in the
     # except below with the registry's own message.
-    try:
-        variants = _parse_variants(args.variants)
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    session = _build_session(args)
     settings = _settings(args)
     try:
-        result = session.run(
-            ServiceRequest(
-                policies=args.policy or None,
-                variants=variants,
-                loads=args.load or None,
-                seeds=args.seeds or [settings.seed],
-                load_profile=args.profile,
-                num_cores=args.num_cores,
-                num_tenants=args.tenants,
-                requests=args.requests,
-                instructions=args.instructions
-                if args.instructions is not None
-                else DEFAULT_SERVICE_INSTRUCTIONS,
-                churn_every=args.churn_every,
-            )
+        request = _wire_request(
+            "service",
+            policies=args.policy or None,
+            variants=args.variants or None,
+            loads=args.load or None,
+            seeds=args.seeds or [settings.seed],
+            load_profile=args.profile,
+            num_cores=args.num_cores,
+            num_tenants=args.tenants,
+            requests=args.requests,
+            instructions=args.instructions
+            if args.instructions is not None
+            else DEFAULT_SERVICE_INSTRUCTIONS,
+            churn_every=args.churn_every,
         )
+    except WireError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        result, session = _execute(args, request, settings)
     except (ValueError, ConfigurationError) as error:
         print(str(error), file=sys.stderr)
         return 2
+    except DaemonError as error:
+        print(str(error), file=sys.stderr)
+        return 1
 
     if args.json:
         entries = []
@@ -480,7 +551,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 {
                     "command": "serve",
                     "entries": entries,
-                    "cache": _cache_summary_dict(session),
+                    "cache": _summary_dict(args, session),
                 },
                 indent=2,
                 sort_keys=True,
@@ -490,7 +561,7 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     rows = figures.service_latency_rows(result.service_outcomes)
     print(format_service_table(figures.SERVICE_TABLE_TITLE, rows))
-    _print_cache_summary(session, result.wall_time_seconds)
+    _print_run_summary(args, session, result.wall_time_seconds)
     return 0
 
 
@@ -498,42 +569,43 @@ def _command_fleet(args: argparse.Namespace) -> int:
     # Registry names (scheduling policy, router, admission, client
     # model, load profile) and the numeric fleet shape are validated by
     # FleetSpec.create; its ValueError lands in the except below.
-    try:
-        variants = _parse_variants(args.variants)
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    session = _build_session(args)
     settings = _settings(args)
     try:
-        result = session.run(
-            FleetRequest(
-                variants=variants,
-                loads=args.load or None,
-                seeds=args.seeds or [settings.seed],
-                policy=args.policy,
-                router=args.router,
-                admission=args.admission,
-                client=args.client,
-                load_profile=args.profile,
-                num_shards=args.shards,
-                shard_cores=args.shard_cores,
-                num_tenants=args.tenants,
-                requests=args.requests,
-                queue_depth=args.queue_depth,
-                slo_factor=args.slo_factor,
-                think_factor=args.think_factor,
-                instructions=args.instructions
-                if args.instructions is not None
-                else DEFAULT_SERVICE_INSTRUCTIONS,
-                churn_every=args.churn_every,
-                dram_wipe_bytes_per_cycle=args.wipe_bytes_per_cycle,
-                measurement_cycles_per_page=args.measurement_cycles,
-            )
+        request = _wire_request(
+            "fleet",
+            variants=args.variants or None,
+            loads=args.load or None,
+            seeds=args.seeds or [settings.seed],
+            policy=args.policy,
+            router=args.router,
+            admission=args.admission,
+            client=args.client,
+            load_profile=args.profile,
+            num_shards=args.shards,
+            shard_cores=args.shard_cores,
+            num_tenants=args.tenants,
+            requests=args.requests,
+            queue_depth=args.queue_depth,
+            slo_factor=args.slo_factor,
+            think_factor=args.think_factor,
+            instructions=args.instructions
+            if args.instructions is not None
+            else DEFAULT_SERVICE_INSTRUCTIONS,
+            churn_every=args.churn_every,
+            dram_wipe_bytes_per_cycle=args.wipe_bytes_per_cycle,
+            measurement_cycles_per_page=args.measurement_cycles,
         )
+    except WireError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        result, session = _execute(args, request, settings)
     except (ValueError, ConfigurationError) as error:
         print(str(error), file=sys.stderr)
         return 2
+    except DaemonError as error:
+        print(str(error), file=sys.stderr)
+        return 1
 
     if args.json:
         entries = []
@@ -559,7 +631,7 @@ def _command_fleet(args: argparse.Namespace) -> int:
                 {
                     "command": "fleet",
                     "entries": entries,
-                    "cache": _cache_summary_dict(session),
+                    "cache": _summary_dict(args, session),
                 },
                 indent=2,
                 sort_keys=True,
@@ -575,7 +647,7 @@ def _command_fleet(args: argparse.Namespace) -> int:
         print("measured saturation points (offered load at peak goodput):")
         for variant, load in figures.fleet_saturation_points(rows).items():
             print(f"  {variant:<12} {load:.2f}")
-    _print_cache_summary(session, result.wall_time_seconds)
+    _print_run_summary(args, session, result.wall_time_seconds)
     return 0
 
 
@@ -811,6 +883,16 @@ def _command_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_remote_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remote",
+        default=None,
+        metavar="ADDR",
+        help="send the request to a running daemon (host:port or URL) "
+        "instead of simulating locally",
+    )
+
+
 def _add_common_arguments(
     parser: argparse.ArgumentParser, *, instructions: bool = True
 ) -> None:
@@ -882,6 +964,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print entries and the cache summary as JSON (for CI and scripts)",
     )
     _add_common_arguments(sweep)
+    _add_remote_argument(sweep)
     sweep.set_defaults(handler=_command_sweep)
 
     attack = subparsers.add_parser(
@@ -915,6 +998,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print entries and the cache summary as JSON (for CI and scripts)",
     )
     _add_common_arguments(attack, instructions=False)
+    _add_remote_argument(attack)
     attack.set_defaults(handler=_command_attack)
 
     serve = subparsers.add_parser(
@@ -986,7 +1070,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print entries and the cache summary as JSON (for CI and scripts)",
     )
+    serve.add_argument(
+        "--daemon",
+        action="store_true",
+        help="run as a long-lived daemon serving the HTTP/JSON API "
+        "instead of one simulation batch",
+    )
+    serve.add_argument(
+        "--host",
+        default=DEFAULT_HOST,
+        help=f"daemon bind address (default {DEFAULT_HOST}; only with --daemon)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"daemon TCP port, 0 picks a free one (default {DEFAULT_PORT}; "
+        "only with --daemon)",
+    )
     _add_common_arguments(serve, instructions=False)
+    _add_remote_argument(serve)
     serve.set_defaults(handler=_command_serve)
 
     fleet = subparsers.add_parser(
@@ -1115,6 +1218,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print entries and the cache summary as JSON (for CI and scripts)",
     )
     _add_common_arguments(fleet, instructions=False)
+    _add_remote_argument(fleet)
     fleet.set_defaults(handler=_command_fleet)
 
     perf = subparsers.add_parser(

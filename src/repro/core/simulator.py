@@ -42,8 +42,9 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.core.config import MI6Config
+from repro.core.mitigations import config_for_spec
 from repro.core.processor import MI6Processor, WorkloadRun
-from repro.core.variants import Variant, config_for_variant
+from repro.core.variants import Variant
 from repro.workloads.profiles import WorkloadProfile
 
 #: Seed used throughout the evaluation when none is given (the paper year).
@@ -67,7 +68,7 @@ class Simulator:
         seed: int = DEFAULT_SEED,
     ) -> Simulator:
         """Simulator for one of the Section 7 evaluation variants."""
-        return cls(config_for_variant(variant, base), seed=seed)
+        return cls(config_for_spec(variant, base), seed=seed)
 
     # ------------------------------------------------------------------
     # Assembly

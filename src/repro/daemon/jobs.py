@@ -1,0 +1,94 @@
+"""Async job registry for daemon submissions.
+
+``POST /v1/run?mode=async`` answers immediately with a job id; the run
+itself happens on a background thread (still serialised on the daemon's
+one session lock, so async submissions queue exactly like sync ones).
+``GET /v1/jobs/<id>`` polls the lifecycle: ``queued`` -> ``running`` ->
+``done``/``error``, with a live progress snapshot sourced from the
+store's hit/miss counters.
+
+Job ids are a plain counter (``job-1``, ``job-2``, ...) — no wall clock
+and no randomness, consistent with the determinism contract the lint
+rule enforces on this package.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+
+class Job:
+    """One async submission's lifecycle (guarded by the registry lock)."""
+
+    def __init__(self, job_id: str, kind: str) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.status = "queued"
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        #: Zero-argument callable producing the live progress snapshot;
+        #: installed by the submitter once counter baselines are known.
+        self.progress_source: Optional[Callable[[], Dict[str, Any]]] = None
+
+
+class JobRegistry:
+    """Thread-safe id allocation and lifecycle tracking for async jobs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._counter = 0
+
+    def submit(self, kind: str, work: Callable[[Job], Dict[str, Any]]) -> str:
+        """Allocate a job, start ``work(job)`` on a thread, return its id."""
+        with self._lock:
+            self._counter += 1
+            job = Job(f"job-{self._counter}", kind)
+            self._jobs[job.id] = job
+        thread = threading.Thread(
+            target=self._run, args=(job, work), name=job.id, daemon=True
+        )
+        thread.start()
+        return job.id
+
+    def _run(self, job: Job, work: Callable[[Job], Dict[str, Any]]) -> None:
+        with self._lock:
+            job.status = "running"
+        try:
+            document = work(job)
+        except Exception as error:  # surface, don't kill the daemon
+            with self._lock:
+                job.status = "error"
+                job.error = f"{type(error).__name__}: {error}"
+            return
+        with self._lock:
+            job.result = document
+            job.status = "done"
+
+    def snapshot(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """JSON-ready view of one job, or ``None`` for unknown ids."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            document: Dict[str, Any] = {
+                "id": job.id,
+                "kind": job.kind,
+                "status": job.status,
+            }
+            if job.progress_source is not None:
+                document["progress"] = job.progress_source()
+            if job.error is not None:
+                document["error"] = job.error
+            if job.result is not None:
+                document["result"] = job.result
+            return document
+
+    def stats(self) -> Dict[str, Any]:
+        """Job counts by lifecycle state (for the health endpoint)."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {"total": len(self._jobs), "by_status": by_status}

@@ -34,7 +34,9 @@ from repro.lint.findings import Finding
 
 #: Packages whose code runs inside a simulation (cycle-level or
 #: event-level).  ``workloads`` is included: the synthetic generator's
-#: draw sequence is part of every run's identity.
+#: draw sequence is part of every run's identity.  ``daemon`` is too —
+#: it answers requests straight from sessions and the store, so any
+#: wall-clock or RNG use there could leak into a served result.
 SIM_PACKAGES: Tuple[str, ...] = (
     "mem",
     "ooo",
@@ -46,6 +48,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "isa",
     "os_model",
     "workloads",
+    "daemon",
 )
 
 #: Modules the whole rule skips, with the justification the catalog in

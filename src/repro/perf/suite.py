@@ -32,7 +32,6 @@ from repro.analysis.engine import (
     resolve_service_cycles,
 )
 from repro.core.serialization import config_digest
-from repro.core.variants import parse_variant
 from repro.fleet.simulation import FleetOutcome
 from repro.perf.profiler import ProfileReport, Profiler, component_shares_of
 from repro.service.simulation import ServiceOutcome, run_service
@@ -99,7 +98,7 @@ def suite_requests(
     """Fully specified engine requests for the pinned suite."""
     settings = EvaluationSettings(instructions=instructions, seed=seed)
     return [
-        request_for(parse_variant(spec), benchmark, settings)
+        request_for(spec, benchmark, settings)
         for spec, benchmark in cases
     ]
 
@@ -197,7 +196,7 @@ def pinned_service_request(seed: int = PINNED_SEED) -> ServiceRunRequest:
     case = PINNED_SERVICE_CASE
     return ServiceRunRequest(
         policy=case["policy"],
-        config=evaluation_config(parse_variant(case["spec"]), case["instructions"]),
+        config=evaluation_config(case["spec"], case["instructions"]),
         seed=seed,
         load=case["load"],
         load_profile=case["load_profile"],
@@ -299,7 +298,7 @@ def pinned_fleet_request(seed: int = PINNED_SEED) -> FleetRunRequest:
     case = PINNED_FLEET_CASE
     return FleetRunRequest(
         policy=case["policy"],
-        config=evaluation_config(parse_variant(case["spec"]), case["instructions"]),
+        config=evaluation_config(case["spec"], case["instructions"]),
         seed=seed,
         router=case["router"],
         admission=case["admission"],

@@ -18,9 +18,9 @@ become throughput and tail-latency numbers under tenant churn.
   JSON-serialisable :class:`~repro.service.simulation.ServiceOutcome`;
 * :mod:`repro.service.metrics` — latency percentile helpers.
 
-Entry points: ``Session.serve(...)`` / :class:`repro.api.ServiceRequest`
-for cached, parallel sweeps, or :func:`repro.service.run_service` for a
-single standalone simulation.
+Entry points: ``Session.run(ServiceRequest(...))`` for cached, parallel
+sweeps, or :func:`repro.service.run_service` for a single standalone
+simulation.
 """
 
 from repro.service.arrivals import (

@@ -1,0 +1,8 @@
+"""Bad fixture: internal code calling a legacy variant shim."""
+
+from repro.core.variants import config_for_variant, parse_variant
+
+
+def evaluation_config(text):
+    variant = parse_variant(text)
+    return config_for_variant(variant)

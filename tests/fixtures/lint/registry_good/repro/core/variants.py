@@ -1,0 +1,9 @@
+"""Good fixture: the compatibility module may call its own shims."""
+
+
+def parse_variant(text):
+    return text.upper()
+
+
+def config_for_variant(variant):
+    return {"variant": parse_variant(variant)}

@@ -548,7 +548,7 @@ class TestSessionFleet:
 
     def test_figures_rows_and_table_render(self, request_fields):
         session = Session(ResultStore.in_memory())
-        result = session.serve_fleet(**request_fields)
+        result = session.run(FleetRequest(**request_fields))
         rows = fleet_goodput_rows(result.fleet_outcomes)
         assert len(rows) == 2
         table = format_fleet_table(FLEET_TABLE_TITLE, rows)

@@ -367,7 +367,7 @@ class TestSessionServe:
 
     def test_figures_rows_and_table_render(self, request_fields):
         session = Session(ResultStore.in_memory())
-        result = session.serve(**request_fields)
+        result = session.run(ServiceRequest(**request_fields))
         rows = service_latency_rows(result.service_outcomes)
         assert len(rows) == 4
         table = format_service_table(SERVICE_TABLE_TITLE, rows)
