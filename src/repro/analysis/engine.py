@@ -75,6 +75,8 @@ from repro.service.simulation import (
 )
 from repro.core.simulator import DEFAULT_SEED, Simulator
 from repro.core.mitigations import config_for_spec
+from repro.obs.metrics import global_registry
+from repro.obs.trace import Tracer, active_tracer, set_active_tracer, wall_span
 from repro.core.variants import (
     Variant,
     VariantLike,
@@ -97,6 +99,13 @@ DEFAULT_INSTRUCTIONS = 30_000
 NONSPEC_INSTRUCTIONS_FRACTION = 0.5
 #: Floor on the scaled timer-trap interval (see EXPERIMENTS.md).
 MIN_TRAP_INTERVAL = 5_000
+
+#: Process-wide count of simulations actually executed (cache misses);
+#: snapshotted into BENCH records by ``repro perf --record``.
+_SIMULATIONS_TOTAL = global_registry().counter(
+    "repro_simulations_total",
+    "Simulations executed by this process (store misses that ran)",
+)
 
 #: Spec/request fields deliberately excluded from content-hash cache
 #: keys.  The ``cache-key`` lint rule (``repro lint``) verifies every
@@ -262,9 +271,37 @@ def execute_request(request: RunRequest) -> WorkloadRun:
     )
 
 
-def _pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _pool_execute(
+    envelope: Dict[str, Any],
+    decode_request: Any,
+    execute: Any,
+    encode: Any,
+) -> Dict[str, Any]:
+    """Worker-side envelope protocol shared by every pool worker.
+
+    The envelope is ``{"request": to_payload(), "trace": bool}``.  When
+    the parent is tracing, the worker collects sim spans on a local
+    tracer and ships them back beside the encoded outcome — the outcome
+    encoding itself is identical either way, so persisted store bytes
+    never depend on tracing.
+    """
+    request = decode_request(envelope["request"])
+    if not envelope.get("trace"):
+        return {"value": encode(execute(request))}
+    tracer = Tracer()
+    previous = set_active_tracer(tracer)
+    try:
+        value = execute(request)
+    finally:
+        set_active_tracer(previous)
+    return {"value": encode(value), "spans": tracer.span_dicts()}
+
+
+def _pool_worker(envelope: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool entry point: dicts in, dicts out (always picklable)."""
-    return run_to_dict(execute_request(RunRequest.from_payload(payload)))
+    return _pool_execute(
+        envelope, RunRequest.from_payload, execute_request, run_to_dict
+    )
 
 
 # ----------------------------------------------------------------------
@@ -325,9 +362,14 @@ def execute_scenario_request(request: ScenarioRequest) -> ScenarioOutcome:
     )
 
 
-def _scenario_pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _scenario_pool_worker(envelope: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool entry point for scenarios: dicts in, dicts out."""
-    return execute_scenario_request(ScenarioRequest.from_payload(payload)).to_dict()
+    return _pool_execute(
+        envelope,
+        ScenarioRequest.from_payload,
+        execute_scenario_request,
+        lambda outcome: outcome.to_dict(),
+    )
 
 
 @dataclass(frozen=True)
@@ -562,9 +604,14 @@ def execute_service_request(request: ServiceRunRequest) -> ServiceOutcome:
     )
 
 
-def _service_pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _service_pool_worker(envelope: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool entry point for serving runs: dicts in, dicts out."""
-    return execute_service_request(ServiceRunRequest.from_payload(payload)).to_dict()
+    return _pool_execute(
+        envelope,
+        ServiceRunRequest.from_payload,
+        execute_service_request,
+        lambda outcome: outcome.to_dict(),
+    )
 
 
 @dataclass(frozen=True)
@@ -882,9 +929,14 @@ def execute_fleet_shard_request(request: FleetShardRequest) -> ShardOutcome:
     )
 
 
-def _fleet_shard_pool_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _fleet_shard_pool_worker(envelope: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool entry point for shard runs: dicts in, dicts out."""
-    return execute_fleet_shard_request(FleetShardRequest.from_payload(payload)).to_dict()
+    return _pool_execute(
+        envelope,
+        FleetShardRequest.from_payload,
+        execute_fleet_shard_request,
+        lambda outcome: outcome.to_dict(),
+    )
 
 
 @dataclass
@@ -1472,40 +1524,63 @@ class ParallelRunner:
         requests = list(requests)
         results: List[Any] = [None] * len(requests)
         origins: List[str] = ["cold"] * len(requests)
-        keys: List[str] = [request.cache_key() for request in requests]
+        tracer = active_tracer()
         by_key: Dict[str, List[int]] = {}
         pending: Dict[str, List[int]] = {}
         pending_requests: Dict[str, Any] = {}
-        for position, key in enumerate(keys):
-            by_key.setdefault(key, []).append(position)
-        for key, positions in by_key.items():
-            cached = lookup(key)
-            if cached is not None:
-                for position in positions:
-                    results[position] = cached
-                    origins[position] = "warm"
-                self.warm_runs += len(positions)
-            else:
-                pending[key] = positions
-                pending_requests[key] = requests[positions[0]]
+        with wall_span("store-lookup", track="engine", requests=len(requests)):
+            keys: List[str] = [request.cache_key() for request in requests]
+            for position, key in enumerate(keys):
+                by_key.setdefault(key, []).append(position)
+            for key, positions in by_key.items():
+                cached = lookup(key)
+                if cached is not None:
+                    for position in positions:
+                        results[position] = cached
+                        origins[position] = "warm"
+                    self.warm_runs += len(positions)
+                else:
+                    pending[key] = positions
+                    pending_requests[key] = requests[positions[0]]
         if pending:
             pending_keys = list(pending)
-            if self.jobs == 1 or len(pending_keys) == 1:
-                produced = [execute(pending_requests[key]) for key in pending_keys]
-            else:
-                payloads = [pending_requests[key].to_payload() for key in pending_keys]
-                with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(pending_keys))
-                ) as pool:
-                    produced = [
-                        decode(encoded)
-                        for encoded in pool.map(pool_worker, payloads)
+            _SIMULATIONS_TOTAL.inc(len(pending_keys))
+            with wall_span(
+                "worker-dispatch",
+                track="engine",
+                pending=len(pending_keys),
+                jobs=self.jobs,
+            ):
+                if self.jobs == 1 or len(pending_keys) == 1:
+                    # In-process execution: the ambient tracer (if any)
+                    # records sim spans directly.
+                    produced = [execute(pending_requests[key]) for key in pending_keys]
+                else:
+                    envelopes = [
+                        {
+                            "request": pending_requests[key].to_payload(),
+                            "trace": tracer is not None,
+                        }
+                        for key in pending_keys
                     ]
-            for key, result in zip(pending_keys, produced):
-                persist(key, result)
-                self.executed_runs += 1
-                for position in pending[key]:
-                    results[position] = result
+                    produced = []
+                    with ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(pending_keys))
+                    ) as pool:
+                        # pool.map preserves request order, so absorbed
+                        # worker spans arrive in the same order the
+                        # serial path would have recorded them.
+                        for encoded in pool.map(pool_worker, envelopes):
+                            spans = encoded.get("spans")
+                            if spans and tracer is not None:
+                                tracer.absorb(spans)
+                            produced.append(decode(encoded["value"]))
+            with wall_span("store-persist", track="engine", produced=len(pending_keys)):
+                for key, result in zip(pending_keys, produced):
+                    persist(key, result)
+                    self.executed_runs += 1
+                    for position in pending[key]:
+                        results[position] = result
         # `keys` stays the full position-aligned list (one per request),
         # NOT the deduplicated pending subset: provenance consumers zip
         # it against the request sequence.

@@ -9,6 +9,7 @@ them to check the shape of the reproduction.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Tuple
 
 from repro.analysis.harness import (
@@ -24,6 +25,7 @@ from repro.api.requests import FleetRequest, ScenarioRequest, ServiceRequest
 from repro.api.session import coerce_session
 from repro.core.mitigations import VariantLike, config_for_spec
 from repro.core.variants import Variant
+from repro.obs.export import trace_spans
 from repro.service.simulation import (
     DEFAULT_SERVICE_CORES,
     DEFAULT_SERVICE_INSTRUCTIONS,
@@ -356,6 +358,78 @@ def fleet_goodput_table(
         )
     )
     return FLEET_TABLE_TITLE, fleet_goodput_rows(result.fleet_outcomes)
+
+
+#: Title of the trace latency-breakdown table (``repro trace summary``).
+BREAKDOWN_TABLE_TITLE = "Trace latency breakdown: time per phase (category x span name)"
+
+
+def _percentile(sorted_values: list, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (deterministic)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+def latency_breakdown_rows(document: Dict, *, category: Optional[str] = None) -> list:
+    """Fold a Chrome-trace document into per-phase latency rows.
+
+    Groups the complete (``ph == "X"``) events by ``(category, name)``
+    and summarises each group's durations: count, total, mean, p50,
+    p95, max, and the group's share of its category's total time.
+    Durations stay in the trace's native units — simulated cycles for
+    ``sim`` spans, microseconds for ``wall`` spans — so the two
+    categories are never summed together.  ``category`` restricts the
+    rows (``"sim"`` or ``"wall"``); rows sort by descending total
+    within each category.
+    """
+    groups: Dict[Tuple[str, str], list] = {}
+    for event in trace_spans(document):
+        cat = str(event.get("cat", ""))
+        if category is not None and cat != category:
+            continue
+        duration = event.get("dur", 0.0)
+        if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+            continue
+        groups.setdefault((cat, str(event.get("name", ""))), []).append(
+            float(duration)
+        )
+    category_totals: Dict[str, float] = {}
+    for (cat, _), durations in groups.items():
+        category_totals[cat] = category_totals.get(cat, 0.0) + sum(durations)
+    rows = []
+    for (cat, name), durations in sorted(
+        groups.items(), key=lambda item: (item[0][0], -sum(item[1]), item[0][1])
+    ):
+        durations = sorted(durations)
+        total = sum(durations)
+        rows.append(
+            {
+                "category": cat,
+                "phase": name,
+                "count": len(durations),
+                "total": total,
+                "mean": total / len(durations),
+                "p50": _percentile(durations, 0.50),
+                "p95": _percentile(durations, 0.95),
+                "max": durations[-1],
+                "share": total / category_totals[cat] if category_totals[cat] else 0.0,
+            }
+        )
+    return rows
+
+
+def latency_breakdown_table(
+    document: Dict, *, category: Optional[str] = None
+) -> Tuple[str, list]:
+    """The ``repro trace summary`` table: ``(title, rows)``.
+
+    ``document`` is a loaded Chrome-trace-event document (from
+    :func:`repro.obs.export.load_trace`); rows go to
+    :func:`repro.analysis.report.format_breakdown_table`.
+    """
+    return BREAKDOWN_TABLE_TITLE, latency_breakdown_rows(document, category=category)
 
 
 def security_leakage_table(

@@ -123,6 +123,33 @@ def format_fleet_table(title: str, rows: Iterable[Mapping]) -> str:
     return "\n".join(lines)
 
 
+def format_breakdown_table(title: str, rows: Iterable[Mapping]) -> str:
+    """Render the trace latency breakdown (``repro trace summary``).
+
+    ``rows`` are flat dicts as produced by
+    :func:`repro.analysis.figures.latency_breakdown_rows`: span
+    category (``sim`` durations are cycles, ``wall`` microseconds),
+    phase name, count, and the duration summary.
+    """
+    rows = list(rows)
+    width = max([12] + [len(str(row["phase"])) for row in rows])
+    lines = [title, "-" * len(title)]
+    header = (
+        f"{'category':<8} {'phase':<{width}} {'count':>6} "
+        f"{'total':>14} {'mean':>10} {'p50':>10} {'p95':>10} "
+        f"{'max':>10} {'share':>6}"
+    )
+    lines.append(header)
+    for row in rows:
+        lines.append(
+            f"{row['category']:<8} {row['phase']:<{width}} {row['count']:>6} "
+            f"{row['total']:>14.1f} {row['mean']:>10.1f} {row['p50']:>10.1f} "
+            f"{row['p95']:>10.1f} {row['max']:>10.1f} "
+            f"{100.0 * row['share']:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
 def format_comparison_table(rows: Dict[str, tuple], title: str = "") -> str:
     """Render rows of ``name -> (measured, paper)`` pairs."""
     lines = []

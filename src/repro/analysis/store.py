@@ -43,8 +43,22 @@ except ImportError:  # pragma: no cover - non-POSIX fallback: atomic writes only
 
 from repro.core.processor import WorkloadRun
 from repro.core.serialization import SCHEMA_VERSION, run_from_dict, run_to_dict
+from repro.obs.metrics import global_registry
+from repro.obs.trace import wall_span
 
 _LOGGER = logging.getLogger("repro.store")
+
+# Process-wide mirrors of the per-instance hit/miss counters, so the
+# metrics surface aggregates across every store a process creates.
+_MEMORY_HITS = global_registry().counter(
+    "repro_store_memory_hits_total", "Store lookups served from memory"
+)
+_DISK_HITS = global_registry().counter(
+    "repro_store_disk_hits_total", "Store lookups served from disk"
+)
+_MISSES = global_registry().counter(
+    "repro_store_misses_total", "Store lookups that missed both layers"
+)
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
@@ -100,6 +114,7 @@ class ResultStore:
         run = self._memory.get(key)
         if run is not None:
             self.memory_hits += 1
+            _MEMORY_HITS.inc()
             return run
         if self.directory is not None:
             path = self._path_for(key)
@@ -115,8 +130,10 @@ class ResultStore:
             if run is not None:
                 self._memory[key] = run
                 self.disk_hits += 1
+                _DISK_HITS.inc()
                 return run
         self.misses += 1
+        _MISSES.inc()
         return None
 
     def put(self, key: str, run: WorkloadRun) -> None:
@@ -163,7 +180,8 @@ class ResultStore:
         a clean entry.
         """
         try:
-            return json.loads(path.read_text())
+            with wall_span("store-read", track="store", entry=path.name):
+                return json.loads(path.read_text())
         except FileNotFoundError:
             return None
         except (OSError, ValueError):
@@ -198,9 +216,10 @@ class ResultStore:
             prefix=".tmp-", suffix=".json", dir=self.directory
         )
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(temp_name, path)
+            with wall_span("store-write", track="store", entry=path.name):
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(temp_name, path)
         except BaseException:
             try:
                 os.unlink(temp_name)
@@ -227,6 +246,7 @@ class ResultStore:
         payload = self._payload_memory.get((kind, key))
         if payload is not None:
             self.memory_hits += 1
+            _MEMORY_HITS.inc()
             return payload
         if self.directory is not None:
             path = self._payload_path(kind, key)
@@ -240,8 +260,10 @@ class ResultStore:
             if payload is not None:
                 self._payload_memory[(kind, key)] = payload
                 self.disk_hits += 1
+                _DISK_HITS.inc()
                 return payload
         self.misses += 1
+        _MISSES.inc()
         return None
 
     def put_payload(self, kind: str, key: str, payload: Dict) -> None:

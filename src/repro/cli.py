@@ -18,6 +18,9 @@ Examples::
     repro-bench fleet
     repro-bench fleet --shards 8 --router least_loaded --admission deadline
     repro-bench fleet --load 0.4 0.8 1.2 1.6 --queue-depth 16 --json
+    repro-bench fleet --trace fleet-trace.json --json > fleet.json
+    repro-bench trace summary fleet-trace.json
+    repro-bench trace validate fleet-trace.json
     repro-bench perf
     repro-bench perf --instructions 20000 --baseline benchmarks/perf_baseline.json
     repro-bench list
@@ -57,6 +60,7 @@ from repro.analysis.engine import (
     DEFAULT_FLEET_TENANTS,
 )
 from repro.analysis.report import (
+    format_breakdown_table,
     format_fleet_table,
     format_security_table,
     format_series_table,
@@ -74,6 +78,7 @@ from repro.api import (
 )
 from repro.attacks.scenarios import scenario_names
 from repro.common.errors import ConfigurationError
+from repro.common.log import LOG_LEVELS, configure_logging
 from repro.core.mitigations import known_compositions, known_mitigations
 from repro.daemon import DEFAULT_HOST, DEFAULT_PORT, DaemonClient, DaemonError, serve_daemon
 from repro.fleet.simulation import (
@@ -85,6 +90,14 @@ from repro.fleet.simulation import (
     DEFAULT_WIPE_BYTES_PER_CYCLE,
 )
 from repro.lint import add_lint_arguments, command_lint
+from repro.obs.export import (
+    load_trace,
+    trace_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import global_registry
+from repro.obs.trace import Tracer, tracing
 from repro.service import (
     DEFAULT_SERVICE_CORES,
     DEFAULT_SERVICE_INSTRUCTIONS,
@@ -244,13 +257,48 @@ def _execute(
 
     Returns the result and the local session (``None`` in remote mode —
     the cache counters live in the daemon's store, reported by its
-    health endpoint rather than a local summary line).
+    health endpoint rather than a local summary line).  With ``--trace``
+    the run executes under an ambient tracer and the captured spans are
+    exported as Chrome-trace-event JSON; outcomes (and everything on
+    stdout) are byte-identical either way — only the trace file and a
+    stderr footer are added.
     """
     if getattr(args, "remote", None):
         client = DaemonClient(args.remote)
         return client.run(request, settings=settings), None
     session = _build_session(args)
-    return session.run(request), session
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return session.run(request), session
+    tracer = Tracer()
+    with tracing(tracer):
+        result = session.run(request)
+    sim_count = len(tracer.sim_spans())
+    write_chrome_trace(
+        trace_path,
+        tracer.spans,
+        metadata={
+            "command": args.command,
+            "sim_spans": sim_count,
+            "wall_spans": len(tracer) - sim_count,
+        },
+    )
+    # Footer on stderr: --json stdout stays byte-identical to an
+    # untraced invocation (the CI trace-smoke job diffs the two).
+    print(f"trace: {len(tracer)} spans -> {trace_path}", file=sys.stderr)
+    return result, session
+
+
+def _reject_remote_trace(args: argparse.Namespace) -> bool:
+    """``--trace`` needs the local engine; reject the combination."""
+    if getattr(args, "remote", None) and getattr(args, "trace", None):
+        print(
+            "--trace records in-process spans and cannot be combined with "
+            "--remote (capture the trace on the daemon side instead)",
+            file=sys.stderr,
+        )
+        return True
+    return False
 
 
 def _print_run_summary(
@@ -300,6 +348,8 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    if _reject_remote_trace(args):
+        return 2
     known = set(benchmark_names())
     unknown = [name for name in args.benchmarks or [] if name not in known]
     if unknown:
@@ -487,6 +537,8 @@ def _command_attack(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if _reject_remote_trace(args):
+        return 2
     if args.daemon:
         # Long-running mode: host this session behind the HTTP/JSON API
         # until SIGTERM/SIGINT.  All other serve flags still shape the
@@ -566,6 +618,8 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_fleet(args: argparse.Namespace) -> int:
+    if _reject_remote_trace(args):
+        return 2
     # Registry names (scheduling policy, router, admission, client
     # model, load profile) and the numeric fleet shape are validated by
     # FleetSpec.create; its ValueError lands in the except below.
@@ -659,7 +713,11 @@ def _command_perf(args: argparse.Namespace) -> int:
     fleet = None if args.no_fleet else run_fleet_case(components=args.components)
     recorder = BenchRecorder(args.output_dir)
     record = recorder.build_record(
-        result, calibration=calibration_score(), service=service, fleet=fleet
+        result,
+        calibration=calibration_score(),
+        service=service,
+        fleet=fleet,
+        metrics=global_registry().snapshot(),
     )
     record_path = None
     if not args.no_record:
@@ -849,6 +907,38 @@ def _print_perf_regression(record, baseline, comparison) -> None:
     )
 
 
+def _command_trace_summary(args: argparse.Namespace) -> int:
+    """``repro trace summary``: per-phase latency-breakdown table."""
+    try:
+        document = load_trace(args.file)
+    except (OSError, ValueError) as error:
+        print(f"cannot load trace {args.file}: {error}", file=sys.stderr)
+        return 2
+    title, rows = figures.latency_breakdown_table(document, category=args.category)
+    if not rows:
+        print(f"{args.file}: no complete spans to summarise")
+        return 0
+    print(format_breakdown_table(title, rows))
+    return 0
+
+
+def _command_trace_validate(args: argparse.Namespace) -> int:
+    """``repro trace validate``: schema-check a captured trace file."""
+    try:
+        document = load_trace(args.file)
+    except (OSError, ValueError) as error:
+        print(f"cannot load trace {args.file}: {error}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"{args.file}: {problem}", file=sys.stderr)
+        return 1
+    events = document.get("traceEvents", [])
+    print(f"{args.file}: valid ({len(events)} events, {len(trace_spans(document))} spans)")
+    return 0
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     print("figures:")
     for name in sorted(_figure_handlers()):
@@ -881,6 +971,16 @@ def _command_list(_args: argparse.Namespace) -> int:
     for name, description in session.client_models().items():
         print(f"  {name:<16} {description}")
     return 0
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome-trace-event (Perfetto) JSON trace of the run; "
+        "outcomes are unchanged (not compatible with --remote)",
+    )
 
 
 def _add_remote_argument(parser: argparse.ArgumentParser) -> None:
@@ -934,6 +1034,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-bench",
         description="Run MI6 reproduction figures and sweeps.",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="root logging level for the whole process (default warning)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     figure = subparsers.add_parser(
@@ -965,6 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(sweep)
     _add_remote_argument(sweep)
+    _add_trace_argument(sweep)
     sweep.set_defaults(handler=_command_sweep)
 
     attack = subparsers.add_parser(
@@ -1090,6 +1197,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(serve, instructions=False)
     _add_remote_argument(serve)
+    _add_trace_argument(serve)
     serve.set_defaults(handler=_command_serve)
 
     fleet = subparsers.add_parser(
@@ -1219,6 +1327,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(fleet, instructions=False)
     _add_remote_argument(fleet)
+    _add_trace_argument(fleet)
     fleet.set_defaults(handler=_command_fleet)
 
     perf = subparsers.add_parser(
@@ -1285,6 +1394,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.set_defaults(handler=_command_perf)
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect Chrome-trace-event files captured with --trace",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="print the per-phase latency-breakdown table of a trace",
+    )
+    trace_summary.add_argument("file", metavar="TRACE", help="trace JSON file")
+    trace_summary.add_argument(
+        "--category",
+        choices=("sim", "wall"),
+        default=None,
+        help="restrict to simulated-cycle or wall-clock spans (default both)",
+    )
+    trace_summary.set_defaults(handler=_command_trace_summary)
+    trace_validate = trace_sub.add_parser(
+        "validate",
+        help="schema-check a trace file; exits 1 listing any problems",
+    )
+    trace_validate.add_argument("file", metavar="TRACE", help="trace JSON file")
+    trace_validate.set_defaults(handler=_command_trace_validate)
+
     lint = subparsers.add_parser(
         "lint",
         help="check the repo-specific invariants (determinism, fast/slow "
@@ -1304,6 +1437,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Console entry point (``repro-bench`` / ``python -m repro``)."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     return args.handler(args)
 
 

@@ -30,6 +30,8 @@ from repro.api.results import Result, result_to_wire
 from repro.api.session import Session
 from repro.common.errors import ConfigurationError
 from repro.daemon.jobs import JobRegistry
+from repro.obs.metrics import LabelValues, MetricsRegistry, global_registry
+from repro.obs.trace import wall_span, wall_time
 from repro.perf import commit_record_path, load_bench
 
 #: Default bind address: loopback only — the daemon speaks plain HTTP
@@ -47,8 +49,12 @@ _ENDPOINTS = (
     "POST /v1/run",
     "GET /v1/jobs/<id>",
     "GET /v1/health",
+    "GET /v1/metrics",
     "GET /v1/registries",
 )
+
+#: Content type of the ``/v1/metrics`` exposition.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _perf_gate_status() -> Dict[str, Any]:
@@ -97,6 +103,57 @@ class DaemonState:
         self.session = session
         self.lock = threading.Lock()
         self.jobs = JobRegistry()
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Register the daemon's metric families.
+
+        Pool, job, and store state are callback gauges over the same
+        live objects :meth:`health` reports, so ``/v1/health`` and
+        ``/v1/metrics`` read one source and can never disagree.  Each
+        :class:`DaemonState` owns its registry (daemons in the same
+        process — tests — must not collide); only cross-cutting process
+        counters live on :func:`global_registry`.
+        """
+        metrics = self.metrics
+        session = self.session
+        metrics.gauge(
+            "repro_workers_jobs", "Worker processes the session fans out to"
+        ).set_function(lambda: float(session.runner.jobs))
+        metrics.gauge(
+            "repro_session_busy", "1 while a request holds the session lock"
+        ).set_function(lambda: float(self.lock.locked()))
+        metrics.gauge(
+            "repro_jobs_total", "Async jobs submitted over this daemon's lifetime"
+        ).set_function(lambda: float(self.jobs.stats()["total"]))
+        metrics.gauge(
+            "repro_jobs", "Async jobs by status", labels=("status",)
+        ).set_callback(self._jobs_by_status)
+        metrics.gauge(
+            "repro_store_memory_runs", "Runs held in the session store's memory layer"
+        ).set_function(lambda: float(len(session.store)))
+        metrics.gauge(
+            "repro_store_disk_entries",
+            "On-disk store entries by result kind",
+            labels=("kind",),
+        ).set_callback(self._disk_entries)
+        self.http_requests = metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served",
+            labels=("method", "status"),
+        )
+        self.http_wall_ms = metrics.histogram(
+            "repro_http_request_wall_ms", "Wall-clock time per HTTP request (ms)"
+        )
+
+    def _jobs_by_status(self) -> Dict[LabelValues, float]:
+        by_status = self.jobs.stats()["by_status"]
+        return {(status,): float(count) for status, count in by_status.items()}
+
+    def _disk_entries(self) -> Dict[LabelValues, float]:
+        entries = self.session.store.stats()["disk_entries"]
+        return {(kind,): float(count) for kind, count in entries.items()}
 
     def run(self, request: Request) -> Result:
         """Execute one request under the session lock."""
@@ -124,18 +181,39 @@ class DaemonState:
         return self.jobs.submit(request.wire_kind, work)
 
     def health(self) -> Dict[str, Any]:
-        """The health document (``GET /v1/health``)."""
+        """The health document (``GET /v1/health``).
+
+        The worker and job numbers are read *through* the metrics
+        registry (which itself reads the live objects), so this
+        document agrees with ``/v1/metrics`` by construction.
+        """
+        metrics = self.metrics
         return {
             "status": "ok",
             "wire_version": WIRE_VERSION,
             "store": self.session.store.stats(),
             "workers": {
-                "jobs": self.session.runner.jobs,
-                "session_busy": self.lock.locked(),
+                "jobs": int(metrics.value("repro_workers_jobs")),
+                "session_busy": bool(metrics.value("repro_session_busy")),
             },
-            "jobs": self.jobs.stats(),
+            "jobs": {
+                "total": int(metrics.value("repro_jobs_total")),
+                "by_status": {
+                    key[0]: int(value)
+                    for key, value in metrics.values("repro_jobs").items()
+                },
+            },
             "perf_gate": _perf_gate_status(),
         }
+
+    def render_metrics(self) -> str:
+        """The ``/v1/metrics`` body: daemon families then process-global.
+
+        Both registries render deterministically; names are disjoint
+        (daemon state vs cross-cutting ``*_total`` process counters),
+        so the concatenation is a valid single exposition.
+        """
+        return self.metrics.render_prometheus() + global_registry().render_prometheus()
 
     def registries(self) -> Dict[str, Any]:
         """Every registry the session exposes (``GET /v1/registries``)."""
@@ -164,17 +242,34 @@ class DaemonRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-daemon"
     protocol_version = "HTTP/1.1"
 
+    #: Status of the response in flight (set by the ``_send_*`` helpers,
+    #: read by :meth:`_handle` for the request log and HTTP counters).
+    _status = 0
+
     @property
     def state(self) -> DaemonState:
         return self.server.state  # type: ignore[attr-defined]
+
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        """Silenced: :meth:`_handle` logs one structured line instead."""
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         _LOGGER.info("%s %s", self.address_string(), format % args)
 
     def _send_json(self, status: int, document: Dict[str, Any]) -> None:
         body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -187,10 +282,43 @@ class DaemonRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routing
 
+    def _handle(self, method: str, route: Any) -> None:
+        """Run one route with timing, counters, and the request log.
+
+        Every request produces exactly one structured log line
+        (method, path, status, wall ms) and one increment of the
+        ``repro_http_requests_total``/``repro_http_request_wall_ms``
+        pair on the daemon's registry.
+        """
+        path = urlparse(self.path).path
+        self._status = 0
+        started = wall_time()
+        with wall_span("http", track="daemon", method=method, path=path):
+            route()
+        elapsed_ms = (wall_time() - started) * 1000.0
+        state = self.state
+        state.http_requests.labels(method=method, status=self._status).inc()
+        state.http_wall_ms.observe(elapsed_ms)
+        _LOGGER.info(
+            "method=%s path=%s status=%d wall_ms=%.2f",
+            method,
+            path,
+            self._status,
+            elapsed_ms,
+        )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        self._handle("GET", self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        self._handle("POST", self._route_post)
+
+    def _route_get(self) -> None:
         path = urlparse(self.path).path
         if path == "/v1/health":
             self._send_json(200, self.state.health())
+        elif path == "/v1/metrics":
+            self._send_text(200, self.state.render_metrics(), METRICS_CONTENT_TYPE)
         elif path == "/v1/registries":
             self._send_json(200, self.state.registries())
         elif path.startswith("/v1/jobs/"):
@@ -203,7 +331,7 @@ class DaemonRequestHandler(BaseHTTPRequestHandler):
         else:
             self._not_found(path)
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+    def _route_post(self) -> None:
         parsed = urlparse(self.path)
         if parsed.path != "/v1/run":
             self._not_found(parsed.path)

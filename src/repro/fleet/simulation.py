@@ -37,6 +37,7 @@ from repro.common.rng import DeterministicRng, derive_seed
 from repro.core.config import MI6Config
 from repro.fleet.admission import REJECT_QUEUE_FULL, AdmissionContext, admit
 from repro.fleet.clients import client_model, closed_loop_population, think_gap
+from repro.obs.trace import active_tracer
 from repro.service.arrivals import generate_arrivals
 from repro.service.metrics import summarize_latencies, throughput_per_mcycle
 from repro.service.schedulers import QueueView, create_policy
@@ -435,6 +436,12 @@ def run_fleet_shard(
     charge_purge = config.flush_on_context_switch
     charge_teardown = config.has_protection_hardware
     page_bytes = config.address_map.page_bytes
+    # Tracing is inert: resolved once per shard simulation, timestamps
+    # are event-loop cycles only, and no span reaches the outcome or
+    # its cache key.
+    tracer = active_tracer()
+    variant = config.name
+    shard_track = f"shard-{shard_index}"
 
     mean_service = sum(service_cycles[name] for name in local_benchmarks) / local_count
 
@@ -535,6 +542,7 @@ def run_fleet_shard(
         nonlocal charged_purge_total
         if core.installed is None:
             return
+        tenant = core.installed
         result = fleet.monitor.deschedule_enclave(
             fleet.enclaves[core.installed], core.core_id
         )
@@ -547,6 +555,16 @@ def run_fleet_shard(
             core.busy_until = now + stall
             core.busy_cycles += stall
             wake_at(core.busy_until)
+            if tracer is not None:
+                tracer.sim_span(
+                    "purge-stall",
+                    f"{shard_track}/core-{core.core_id}",
+                    now,
+                    now + stall,
+                    tenant=tenant,
+                    shard=shard_index,
+                    variant=variant,
+                )
 
     def churn(core: _ShardCore, tenant: int, now: int) -> None:
         """Tear down and relaunch a tenant's enclave, charging teardown.
@@ -581,6 +599,19 @@ def run_fleet_shard(
         core.busy_until = now + stall
         core.busy_cycles += stall
         wake_at(core.busy_until)
+        if tracer is not None:
+            tracer.sim_span(
+                "teardown",
+                f"{shard_track}/core-{core.core_id}",
+                now,
+                now + stall,
+                tenant=tenant,
+                shard=shard_index,
+                scrub_cycles=scrub,
+                wipe_cycles=wipe,
+                measurement_cycles=measurement,
+                variant=variant,
+            )
 
     def estimated_wait(now: int) -> int:
         """Deterministic queue-wait estimate the admission policy sees."""
@@ -608,6 +639,39 @@ def run_fleet_shard(
                 core.busy_cycles += cost + service
                 in_service.add(choice.tenant)
                 heapq.heappush(events, (completion, _COMPLETE, choice.seq, (core, choice)))
+                if tracer is not None:
+                    track = f"{shard_track}/core-{core.core_id}"
+                    tracer.sim_span(
+                        "queue",
+                        f"{shard_track}/queue",
+                        choice.arrival,
+                        now,
+                        tenant=choice.tenant,
+                        seq=choice.seq,
+                        shard=shard_index,
+                        variant=variant,
+                    )
+                    if cost:
+                        tracer.sim_span(
+                            "purge-stall",
+                            track,
+                            now,
+                            now + cost,
+                            tenant=choice.tenant,
+                            seq=choice.seq,
+                            shard=shard_index,
+                            variant=variant,
+                        )
+                    tracer.sim_span(
+                        "execute",
+                        track,
+                        now + cost,
+                        completion,
+                        tenant=choice.tenant,
+                        seq=choice.seq,
+                        shard=shard_index,
+                        variant=variant,
+                    )
                 progress = True
 
     while events:
@@ -625,6 +689,17 @@ def run_fleet_shard(
                     slo_cycles=slo_cycles,
                 ),
             )
+            if tracer is not None:
+                tracer.sim_event(
+                    "admit",
+                    f"{shard_track}/admission",
+                    now,
+                    outcome=reason if reason is not None else "admitted",
+                    tenant=payload.tenant,
+                    seq=payload.seq,
+                    shard=shard_index,
+                    variant=variant,
+                )
             if reason == REJECT_QUEUE_FULL:
                 dropped_queue_full += 1
                 reissue(payload.client, now)
@@ -646,6 +721,18 @@ def run_fleet_shard(
                 slo_met += 1
             else:
                 deadline_misses += 1
+            if tracer is not None:
+                tracer.sim_event(
+                    "complete",
+                    f"{shard_track}/core-{core.core_id}",
+                    now,
+                    tenant=request.tenant,
+                    seq=request.seq,
+                    latency_cycles=latency,
+                    slo_met=latency <= slo_cycles,
+                    shard=shard_index,
+                    variant=variant,
+                )
             horizon = max(horizon, now)
             tally = completions_per_tenant.get(request.tenant, 0) + 1
             completions_per_tenant[request.tenant] = tally

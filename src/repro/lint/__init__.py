@@ -15,7 +15,10 @@ shared parse pass (:mod:`repro.lint.engine`):
   digest or is excluded with a justification
   (:mod:`repro.lint.cache_keys`);
 * ``registry-hygiene`` — registrations happen at import time in their
-  owning module (:mod:`repro.lint.registries`).
+  owning module (:mod:`repro.lint.registries`);
+* ``obs-purity`` — tracing/metrics state never reaches a cache-key
+  digest, and wall-clock reads never enter simulated-cycle span code
+  (:mod:`repro.lint.obs_purity`).
 
 Run it as ``repro lint src`` (or ``repro-bench lint``); sanctioned
 exceptions are ``# repro: allow[rule]: reason`` annotations or a
@@ -28,6 +31,7 @@ from __future__ import annotations
 # unconditional so every entry point sees the same registry.
 import repro.lint.cache_keys  # noqa: F401
 import repro.lint.determinism  # noqa: F401
+import repro.lint.obs_purity  # noqa: F401
 import repro.lint.parity  # noqa: F401
 import repro.lint.registries  # noqa: F401
 from repro.lint.cli import add_lint_arguments, command_lint

@@ -1,0 +1,175 @@
+"""Chrome-trace-event (Perfetto) JSON export and validation.
+
+The exporter maps spans onto the Chrome trace event format that
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+directly:
+
+* sim spans land in the ``simulated-cycles`` process (pid 1) with one
+  simulated cycle rendered as one microsecond, so Perfetto's time
+  ruler reads directly in kilocycles/megacycles;
+* wall spans land in the ``wall-clock`` process (pid 2), re-based to
+  the earliest wall timestamp in the trace;
+* every distinct span track becomes a named thread (``thread_name``
+  metadata events), with tids assigned in sorted track order.
+
+Events are emitted in the spans' deterministic sort order and the
+document is serialised with sorted keys, so a trace containing only
+sim spans is byte-identical across reruns, ``--jobs`` settings, and
+serial-vs-parallel execution.
+
+:func:`validate_chrome_trace` is the schema check the CI trace-smoke
+job runs (via ``repro trace validate``): structural problems come back
+as a list of human-readable strings, empty meaning valid.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.trace import SIM_CATEGORY, WALL_CATEGORY, Span
+
+#: Synthetic process ids of the two span domains.
+SIM_PID = 1
+WALL_PID = 2
+
+_PROCESS_NAMES = {SIM_PID: "simulated-cycles", WALL_PID: "wall-clock"}
+
+#: Seconds -> microseconds (the trace event ``ts`` unit).
+_SECONDS_TO_US = 1_000_000.0
+
+
+def chrome_trace_document(
+    spans: Iterable[Span], *, metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Build the Chrome-trace-event document for ``spans``.
+
+    ``metadata`` (command line, seed, span counts, ...) lands under the
+    format's free-form ``otherData`` key.
+    """
+    ordered = sorted(spans, key=Span.sort_key)
+    pid_for = {SIM_CATEGORY: SIM_PID, WALL_CATEGORY: WALL_PID}
+    tracks: Dict[int, List[str]] = {SIM_PID: [], WALL_PID: []}
+    for span in ordered:
+        names = tracks[pid_for[span.category]]
+        if span.track not in names:
+            names.append(span.track)
+    tids = {
+        (pid, track): tid
+        for pid, names in tracks.items()
+        for tid, track in enumerate(sorted(names), start=1)
+    }
+    wall_starts = [span.start for span in ordered if span.category == WALL_CATEGORY]
+    wall_epoch = min(wall_starts) if wall_starts else 0.0
+
+    events: List[Dict[str, Any]] = []
+    for pid, names in sorted(tracks.items()):
+        if not names:
+            continue
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": _PROCESS_NAMES[pid]},
+            }
+        )
+        for track in sorted(names):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[(pid, track)],
+                    "args": {"name": track},
+                }
+            )
+    for span in ordered:
+        pid = pid_for[span.category]
+        if span.category == SIM_CATEGORY:
+            ts = float(span.start)
+            dur = float(span.duration)
+        else:
+            ts = (span.start - wall_epoch) * _SECONDS_TO_US
+            dur = span.duration * _SECONDS_TO_US
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "pid": pid,
+                "tid": tids[(pid, span.track)],
+                "ts": ts,
+                "dur": dur,
+                "args": dict(span.args),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    spans: Iterable[Span],
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``spans`` to ``path`` as Chrome-trace-event JSON."""
+    path = Path(path)
+    document = chrome_trace_document(spans, metadata=metadata)
+    path.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n")
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a trace document written by :func:`write_chrome_trace`."""
+    return json.loads(Path(path).read_text())
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Structural schema check; returns problems (empty list == valid)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["trace document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "M", "i"):
+            problems.append(f"{where}: unexpected phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: name is not a string")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: {field} is not an integer")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args is not an object")
+        if phase != "X":
+            continue
+        if not isinstance(event.get("cat"), str):
+            problems.append(f"{where}: cat is not a string")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{where}: {field} is not a number")
+        dur = event.get("dur")
+        if isinstance(dur, (int, float)) and not isinstance(dur, bool) and dur < 0:
+            problems.append(f"{where}: negative duration")
+    return problems
+
+
+def trace_spans(document: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The complete (``ph == "X"``) events of a loaded trace document."""
+    events = document.get("traceEvents", [])
+    return [event for event in events if isinstance(event, dict) and event.get("ph") == "X"]

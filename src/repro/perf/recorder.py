@@ -186,6 +186,7 @@ class BenchRecorder:
         when: Optional[date] = None,
         service: Optional[ServiceCaseMeasurement] = None,
         fleet: Optional[FleetCaseMeasurement] = None,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Assemble the JSON document for one suite execution.
 
@@ -194,6 +195,10 @@ class BenchRecorder:
         the same calibration score, gated by
         :func:`compare_to_baseline` alongside the kernel throughput.
         ``fleet`` adds the pinned sharded fleet case the same way.
+        ``metrics`` (a :meth:`MetricsRegistry.snapshot` document —
+        simulations run, store hits, span counts) is embedded verbatim
+        for trajectory context; it never participates in baseline
+        comparability or the gate ratios.
         """
         calibration = calibration if calibration is not None else calibration_score()
         aggregate_ips = result.instructions_per_second
@@ -260,6 +265,8 @@ class BenchRecorder:
                 ),
                 "component_shares": dict(fleet.component_shares),
             }
+        if metrics is not None:
+            record["metrics"] = metrics
         return record
 
     def write(

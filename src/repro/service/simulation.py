@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.common.errors import ConfigurationError
 from repro.core.config import MI6Config
 from repro.monitor.enclave import Enclave
+from repro.obs.trace import active_tracer
 from repro.monitor.security_monitor import SecurityMonitor
 from repro.os_model.kernel import UntrustedOS
 from repro.os_model.machine import Machine
@@ -305,6 +306,12 @@ def run_service(
     fleet = _Fleet(config, num_cores, num_tenants, seed)
     charge_purge = config.flush_on_context_switch
     charge_flush = config.has_protection_hardware
+    # Tracing is inert: the tracer is resolved once per simulation (not
+    # per event), span timestamps come from the event loop's integer
+    # cycle counter only, and nothing recorded here reaches the outcome
+    # or its cache key.
+    tracer = active_tracer()
+    variant = config.name
 
     mean_service = sum(service_cycles[name] for name in benchmarks) / num_tenants
     mean_gap = max(1, int(round(mean_service / (load * num_cores))))
@@ -384,6 +391,7 @@ def run_service(
         """Eagerly deschedule the core's enclave (FIFO-style policies)."""
         if core.installed is None:
             return
+        tenant = core.installed
         result = fleet.monitor.deschedule_enclave(
             fleet.enclaves[core.installed], core.core_id
         )
@@ -395,6 +403,15 @@ def run_service(
             core.busy_until = now + stall
             core.busy_cycles += stall
             wake_at(core.busy_until)
+            if tracer is not None:
+                tracer.sim_span(
+                    "purge-stall",
+                    f"service/core-{core.core_id}",
+                    now,
+                    now + stall,
+                    tenant=tenant,
+                    variant=variant,
+                )
 
     def dispatch(now: int) -> None:
         progress = True
@@ -416,6 +433,36 @@ def run_service(
                 core.busy_cycles += cost + service
                 in_service.add(choice.tenant)
                 heapq.heappush(events, (completion, _COMPLETE, choice.seq, (core, choice)))
+                if tracer is not None:
+                    track = f"service/core-{core.core_id}"
+                    tracer.sim_span(
+                        "queue",
+                        "service/queue",
+                        choice.arrival,
+                        now,
+                        tenant=choice.tenant,
+                        seq=choice.seq,
+                        variant=variant,
+                    )
+                    if cost:
+                        tracer.sim_span(
+                            "purge-stall",
+                            track,
+                            now,
+                            now + cost,
+                            tenant=choice.tenant,
+                            seq=choice.seq,
+                            variant=variant,
+                        )
+                    tracer.sim_span(
+                        "execute",
+                        track,
+                        now + cost,
+                        completion,
+                        tenant=choice.tenant,
+                        seq=choice.seq,
+                        variant=variant,
+                    )
                 progress = True
 
     while events:
@@ -430,6 +477,16 @@ def run_service(
             core, request = payload
             in_service.discard(request.tenant)
             latencies.append(now - request.arrival)
+            if tracer is not None:
+                tracer.sim_event(
+                    "complete",
+                    f"service/core-{core.core_id}",
+                    now,
+                    tenant=request.tenant,
+                    seq=request.seq,
+                    latency_cycles=now - request.arrival,
+                    variant=variant,
+                )
             horizon = max(horizon, now)
             tally = completions_per_tenant.get(request.tenant, 0) + 1
             completions_per_tenant[request.tenant] = tally
@@ -447,6 +504,15 @@ def run_service(
                     core.busy_until = now + stall
                     core.busy_cycles += stall
                     wake_at(core.busy_until)
+                    if tracer is not None:
+                        tracer.sim_span(
+                            "scrub",
+                            f"service/core-{core.core_id}",
+                            now,
+                            now + stall,
+                            tenant=request.tenant,
+                            variant=variant,
+                        )
             elif scheduler.eager_release:
                 release(core, now)
         dispatch(now)

@@ -126,6 +126,86 @@ class TestRegistryHygieneRule:
         assert report.findings == []
 
 
+class TestObsPurityRule:
+    def test_obs_name_in_cache_key_function_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/analysis/keys.py",
+            "from repro.obs.metrics import global_registry\n"
+            "\n"
+            "def service_cache_key(spec):\n"
+            "    global_registry().counter('repro_keys_total').inc()\n"
+            "    return str(spec)\n",
+            rules=["obs-purity"],
+        )
+        found = messages(report, "obs-purity")
+        assert len(found) == 1
+        assert "obs name 'global_registry'" in found[0]
+        assert "'service_cache_key'" in found[0]
+
+    def test_wall_import_in_cycle_span_package_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/service/clock.py",
+            "from repro.obs.trace import wall_time\n",
+            rules=["obs-purity"],
+        )
+        found = messages(report, "obs-purity")
+        assert len(found) == 1
+        assert "wall-clock reader 'wall_time'" in found[0]
+
+    def test_wall_attribute_read_in_cycle_span_package_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/fleet/clock.py",
+            "def now(clock):\n"
+            "    return clock.perf_counter()\n",
+            rules=["obs-purity"],
+        )
+        found = messages(report, "obs-purity")
+        assert len(found) == 1
+        assert "wall-clock read ('perf_counter')" in found[0]
+
+    def test_wall_read_in_sim_span_argument_is_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/mem/spans.py",
+            "def record(tracer, wall_time):\n"
+            "    tracer.sim_span('execute', 'core', 0, wall_time())\n",
+            rules=["obs-purity"],
+        )
+        found = messages(report, "obs-purity")
+        assert len(found) == 1
+        assert "flows into a sim_span argument" in found[0]
+
+    def test_cycle_denominated_spans_are_clean(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/service/sim.py",
+            "from repro.obs.trace import active_tracer\n"
+            "\n"
+            "def complete(start_cycle, end_cycle, tenant):\n"
+            "    tracer = active_tracer()\n"
+            "    if tracer is not None:\n"
+            "        tracer.sim_span('execute', 'core', start_cycle, end_cycle,\n"
+            "                        tenant=tenant)\n",
+            rules=["obs-purity"],
+        )
+        assert messages(report, "obs-purity") == []
+
+    def test_obs_package_itself_is_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/obs/trace.py",
+            "import time\n"
+            "\n"
+            "def wall_cache_key():\n"
+            "    return time.perf_counter()\n",
+            rules=["obs-purity"],
+        )
+        assert messages(report, "obs-purity") == []
+
+
 # ----------------------------------------------------------------------
 # Suppression mechanism
 
